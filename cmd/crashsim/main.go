@@ -1,0 +1,243 @@
+// Command crashsim answers SimRank queries from the command line.
+//
+// Static single-source query (edge-list file or generated profile):
+//
+//	crashsim -graph wiki.txt -source 3 -topk 10
+//	crashsim -profile hepth -scale 0.05 -source 3 -algo probesim
+//
+// Single-pair and top-k queries:
+//
+//	crashsim -graph wiki.txt -source 3 -pair 17
+//	crashsim -graph wiki.txt -source 3 -algo topk -topk 10
+//
+// Temporal queries over a temporal edge-list file:
+//
+//	crashsim -temporal as.tgraph -source 3 -query threshold -theta 0.05
+//	crashsim -temporal as.tgraph -source 3 -query trend -direction increasing
+//	crashsim -temporal as.tgraph -source 3 -query durable -topk 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crashsim"
+	"crashsim/internal/graph"
+)
+
+func main() {
+	var (
+		graphFile    = flag.String("graph", "", "static edge-list file")
+		temporalFile = flag.String("temporal", "", "temporal edge-list file")
+		profile      = flag.String("profile", "", "generate a dataset profile instead of reading a file")
+		scale        = flag.Float64("scale", 0.05, "profile scale")
+		statsOnly    = flag.Bool("stats", false, "print graph statistics and exit (static only)")
+		source       = flag.Int("source", 0, "query source node")
+		pairNode     = flag.Int("pair", -1, "second node for a single-pair query (static only)")
+		algo         = flag.String("algo", "crashsim", "static algorithm: crashsim, probesim, sling, reads, exact, topk")
+		query        = flag.String("query", "threshold", "temporal query: threshold, trend, or durable")
+		theta        = flag.Float64("theta", 0.05, "threshold θ")
+		direction    = flag.String("direction", "increasing", "trend direction: increasing or decreasing")
+		slack        = flag.Float64("slack", 0.025, "trend slack (noise tolerance)")
+		topk         = flag.Int("topk", 10, "number of results to print")
+		eps          = flag.Float64("eps", 0.025, "error bound ε")
+		c            = flag.Float64("c", 0.6, "decay factor")
+		iters        = flag.Int("iters", 2000, "Monte-Carlo iterations (0 = theory-derived)")
+		seed         = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	opt := crashsim.Options{C: *c, Eps: *eps, Iterations: *iters, Seed: *seed}
+	var err error
+	switch {
+	case *statsOnly:
+		err = runStats(*graphFile, *profile, *scale, opt.Seed)
+	case *temporalFile != "":
+		err = runTemporal(*temporalFile, *source, *query, *theta, *direction, *slack, *topk, opt)
+	case *pairNode >= 0:
+		err = runPair(*graphFile, *profile, *scale, *source, *pairNode, opt)
+	default:
+		err = runStatic(*graphFile, *profile, *scale, *source, *algo, *topk, opt)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func loadStatic(graphFile, profile string, scale float64, seed uint64) (*crashsim.Graph, error) {
+	switch {
+	case graphFile != "":
+		f, err := os.Open(graphFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return crashsim.LoadGraph(f)
+	case profile != "":
+		p, err := crashsim.Dataset(profile)
+		if err != nil {
+			return nil, err
+		}
+		return crashsim.GenerateStatic(p, scale, seed)
+	default:
+		return nil, fmt.Errorf("need -graph, -profile or -temporal")
+	}
+}
+
+func runStatic(graphFile, profile string, scale float64, source int, algo string, topk int, opt crashsim.Options) error {
+	g, err := loadStatic(graphFile, profile, scale, opt.Seed)
+	if err != nil {
+		return err
+	}
+	u := crashsim.NodeID(source)
+	start := time.Now()
+	var scores crashsim.Scores
+	switch algo {
+	case "topk":
+		ranked, err := crashsim.TopK(g, u, topk, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("graph: n=%d m=%d directed=%t\n", g.NumNodes(), g.NumEdges(), g.Directed())
+		fmt.Printf("top-%d from node %d in %v\n", topk, source, time.Since(start).Round(time.Microsecond))
+		for rank, r := range ranked {
+			fmt.Printf("%3d. node %-8d sim=%.5f\n", rank+1, r.Node, r.Score)
+		}
+		return nil
+	case "crashsim":
+		scores, err = crashsim.SingleSource(g, u, opt)
+	case "probesim":
+		scores, err = crashsim.BaselineProbeSim(g, u, opt)
+	case "sling":
+		var ix *crashsim.SLINGIndex
+		if ix, err = crashsim.BuildSLING(g, opt); err == nil {
+			scores, err = ix.SingleSource(u)
+		}
+	case "reads":
+		var ix *crashsim.READSIndex
+		if ix, err = crashsim.BuildREADS(g, 0, opt); err == nil {
+			scores, err = ix.SingleSource(u)
+		}
+	case "exact":
+		var res interface {
+			Sim(u, v crashsim.NodeID) float64
+		}
+		res, err = crashsim.Exact(g, opt.C)
+		if err == nil {
+			scores = make(crashsim.Scores, g.NumNodes())
+			for v := 0; v < g.NumNodes(); v++ {
+				scores[crashsim.NodeID(v)] = res.Sim(u, crashsim.NodeID(v))
+			}
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("graph: n=%d m=%d directed=%t\n", g.NumNodes(), g.NumEdges(), g.Directed())
+	fmt.Printf("%s single-source from node %d in %v\n", algo, source, elapsed.Round(time.Microsecond))
+	for rank, v := range crashsim.TopSimilar(scores, u, topk) {
+		fmt.Printf("%3d. node %-8d sim=%.5f\n", rank+1, v, scores[v])
+	}
+	return nil
+}
+
+func runStats(graphFile, profile string, scale float64, seed uint64) error {
+	g, err := loadStatic(graphFile, profile, scale, seed)
+	if err != nil {
+		return err
+	}
+	s := graph.ComputeStats(g)
+	_, components := graph.Components(g)
+	giant := len(graph.GiantComponent(g))
+	fmt.Printf("nodes:            %d\n", s.Nodes)
+	fmt.Printf("edges:            %d\n", s.Edges)
+	fmt.Printf("directed:         %t\n", s.Directed)
+	fmt.Printf("mean in-degree:   %.2f\n", s.MeanInDeg)
+	fmt.Printf("median in-degree: %d\n", s.MedianInDeg)
+	fmt.Printf("max in-degree:    %d\n", s.MaxInDeg)
+	fmt.Printf("max out-degree:   %d\n", s.MaxOutDeg)
+	fmt.Printf("dangling (in):    %d\n", s.DanglingIn)
+	fmt.Printf("dangling (out):   %d\n", s.DanglingOut)
+	fmt.Printf("components:       %d (giant covers %d nodes)\n", components, giant)
+	return nil
+}
+
+func runPair(graphFile, profile string, scale float64, source, pair int, opt crashsim.Options) error {
+	g, err := loadStatic(graphFile, profile, scale, opt.Seed)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	s, err := crashsim.SinglePair(g, crashsim.NodeID(source), crashsim.NodeID(pair), opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sim(%d,%d) = %.5f  (%v)\n", source, pair, s, time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+func runTemporal(file string, source int, query string, theta float64, direction string, slack float64, topk int, opt crashsim.Options) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tg, err := crashsim.LoadTemporal(f)
+	if err != nil {
+		return err
+	}
+
+	if query == "durable" {
+		start := time.Now()
+		ranked, err := crashsim.DurableTopK(tg, crashsim.NodeID(source), topk, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("temporal graph: n=%d snapshots=%d\n", tg.NumNodes(), tg.NumSnapshots())
+		fmt.Printf("durable top-%d from node %d in %v\n", topk, source, time.Since(start).Round(time.Millisecond))
+		for rank, r := range ranked {
+			fmt.Printf("%3d. node %-8d min-sim=%.5f\n", rank+1, r.Node, r.MinScore)
+		}
+		return nil
+	}
+
+	var q crashsim.TemporalQuery
+	switch query {
+	case "threshold":
+		q = crashsim.ThresholdQuery(theta)
+	case "trend":
+		dir := crashsim.Increasing
+		if direction == "decreasing" {
+			dir = crashsim.Decreasing
+		} else if direction != "increasing" {
+			return fmt.Errorf("unknown trend direction %q", direction)
+		}
+		q = crashsim.TrendQuery(dir, slack)
+	default:
+		return fmt.Errorf("unknown query %q (want threshold, trend, or durable)", query)
+	}
+
+	start := time.Now()
+	res, err := crashsim.QueryTemporal(tg, crashsim.NodeID(source), q, opt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("temporal graph: n=%d snapshots=%d\n", tg.NumNodes(), tg.NumSnapshots())
+	fmt.Printf("%s query from node %d in %v\n", q.Name(), source, elapsed.Round(time.Millisecond))
+	fmt.Printf("pruning: evaluated=%d reused-delta=%d reused-diff=%d stable-tree-steps=%d\n",
+		res.Stats.Evaluated, res.Stats.ReusedDelta, res.Stats.ReusedDiff, res.Stats.TreeStableSteps)
+	fmt.Printf("result set (%d nodes):\n", len(res.Omega))
+	for _, v := range res.Omega {
+		fmt.Printf("  node %-8d final-sim=%.5f\n", v, res.Final[v])
+	}
+	return nil
+}

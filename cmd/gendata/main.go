@@ -1,0 +1,143 @@
+// Command gendata emits synthetic dataset files in the formats the rest
+// of the tooling reads: static edge lists and temporal edge lists.
+//
+// Dataset profiles (Table III stand-ins):
+//
+//	gendata -profile wiki-vote -scale 0.1 -o wiki.txt
+//	gendata -profile as-733 -scale 0.05 -temporal -snapshots 100 -o as.tgraph
+//
+// Raw random-graph models:
+//
+//	gendata -model er -nodes 1000 -edges 5000 -o er.txt
+//	gendata -model ba -nodes 1000 -k 4 -directed=false -o ba.txt
+//	gendata -model chunglu -nodes 1000 -edges 8000 -exponent 2.1 -o cl.txt
+//	gendata -model smallworld -nodes 1000 -k 3 -beta 0.1 -o sw.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"crashsim"
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+	"crashsim/internal/temporal"
+)
+
+func main() {
+	var (
+		profile   = flag.String("profile", "", "dataset profile: as-733, as-caida, wiki-vote, hepth, hepph")
+		model     = flag.String("model", "", "raw model: er, ba, chunglu, smallworld (alternative to -profile)")
+		nodes     = flag.Int("nodes", 1000, "node count (raw models)")
+		edges     = flag.Int("edges", 5000, "edge count (er, chunglu)")
+		k         = flag.Int("k", 4, "attachment/neighbor parameter (ba, smallworld)")
+		beta      = flag.Float64("beta", 0.1, "rewiring probability (smallworld)")
+		exponent  = flag.Float64("exponent", 2.1, "power-law exponent (chunglu)")
+		directed  = flag.Bool("directed", true, "direction (raw models; smallworld is always undirected)")
+		scale     = flag.Float64("scale", 0.05, "profile scale (1.0 = paper-published size)")
+		temporalF = flag.Bool("temporal", false, "emit a temporal history instead of one static snapshot")
+		snapshots = flag.Int("snapshots", 0, "snapshot count (profile: override; raw model: enables churn)")
+		churn     = flag.Float64("churn", 0.01, "per-transition edge churn rate (raw temporal models)")
+		active    = flag.Float64("active", 1.0, "fraction of transitions carrying churn")
+		seed      = flag.Uint64("seed", 42, "generator seed")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var err error
+	switch {
+	case *profile != "" && *model != "":
+		err = fmt.Errorf("-profile and -model are mutually exclusive")
+	case *model != "":
+		err = runModel(w, *model, *nodes, *edges, *k, *beta, *exponent, *directed,
+			*temporalF, *snapshots, *churn, *active, *seed)
+	case *profile != "":
+		err = runProfile(w, *profile, *scale, *temporalF, *snapshots, *seed)
+	default:
+		err = fmt.Errorf("need -profile or -model")
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
+	os.Exit(1)
+}
+
+func runProfile(w io.Writer, profile string, scale float64, temporalOut bool, snapshots int, seed uint64) error {
+	p, err := crashsim.Dataset(profile)
+	if err != nil {
+		return err
+	}
+	if temporalOut {
+		tg, err := crashsim.GenerateTemporal(p, scale, snapshots, seed)
+		if err != nil {
+			return err
+		}
+		return crashsim.SaveTemporal(w, tg)
+	}
+	g, err := crashsim.GenerateStatic(p, scale, seed)
+	if err != nil {
+		return err
+	}
+	return crashsim.SaveGraph(w, g)
+}
+
+func runModel(w io.Writer, model string, nodes, edges, k int, beta, exponent float64,
+	directed, temporalOut bool, snapshots int, churn, active float64, seed uint64) error {
+	var (
+		es  []graph.Edge
+		err error
+	)
+	switch model {
+	case "er":
+		es, err = gen.ErdosRenyi(nodes, edges, directed, seed)
+	case "ba":
+		es, err = gen.PreferentialAttachment(nodes, k, directed, seed)
+	case "chunglu":
+		es, err = gen.ChungLu(nodes, edges, exponent, directed, seed)
+	case "smallworld":
+		directed = false
+		es, err = gen.SmallWorld(nodes, k, beta, seed)
+	default:
+		return fmt.Errorf("unknown model %q (want er, ba, chunglu, smallworld)", model)
+	}
+	if err != nil {
+		return err
+	}
+	if temporalOut {
+		if snapshots < 1 {
+			return fmt.Errorf("temporal output needs -snapshots >= 1")
+		}
+		tg, err := gen.Churn(nodes, directed, es, gen.ChurnOptions{
+			Snapshots:      snapshots,
+			AddRate:        churn,
+			DelRate:        churn,
+			ActiveFraction: active,
+			Seed:           seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		return temporal.Write(w, tg)
+	}
+	g, err := gen.BuildStatic(nodes, directed, es)
+	if err != nil {
+		return err
+	}
+	return graph.WriteEdgeList(w, g)
+}

@@ -1,0 +1,49 @@
+package crashsim
+
+import (
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+// DatasetProfile describes one of the paper's five evaluation datasets
+// (Table III) as a synthetic stand-in generator.
+type DatasetProfile = gen.Profile
+
+// Datasets returns the five dataset profiles in the paper's order:
+// as-733, as-caida, wiki-vote, hepth, hepph.
+func Datasets() []DatasetProfile { return gen.Profiles() }
+
+// Dataset looks a profile up by name.
+func Dataset(name string) (DatasetProfile, error) { return gen.ProfileByName(name) }
+
+// GenerateStatic generates the profile's base snapshot at the given
+// scale (1.0 = the paper's published size).
+func GenerateStatic(p DatasetProfile, scale float64, seed uint64) (*Graph, error) {
+	return p.Scaled(scale).Static(seed)
+}
+
+// GenerateTemporal generates the profile's full temporal history at the
+// given scale, optionally overriding the snapshot count (0 keeps the
+// profile's).
+func GenerateTemporal(p DatasetProfile, scale float64, snapshots int, seed uint64) (*TemporalGraph, error) {
+	q := p.Scaled(scale)
+	if snapshots > 0 {
+		q = q.WithSnapshots(snapshots)
+	}
+	return q.Temporal(seed)
+}
+
+// PaperExampleGraph returns the 8-node running-example graph of the
+// paper (Fig 2 as reconstructed from Example 2's constraints).
+func PaperExampleGraph() *Graph { return graph.PaperExample() }
+
+// PurchaseGraphOptions configures the synthetic temporal user–item
+// purchase workload behind the paper's Example 1.
+type PurchaseGraphOptions = gen.BipartiteOptions
+
+// GeneratePurchaseGraph builds a temporal bipartite purchase graph with
+// drifting interests; it also returns each user's taste group per
+// snapshot (ground truth for similarity tests and demos).
+func GeneratePurchaseGraph(opt PurchaseGraphOptions) (*TemporalGraph, [][]int, error) {
+	return gen.Bipartite(opt)
+}

@@ -1,0 +1,60 @@
+package crashsim_test
+
+import (
+	"fmt"
+
+	"crashsim"
+)
+
+// ExampleSingleSource demonstrates the core query: SimRank estimates
+// from one source to all nodes, with the paper's default guarantees.
+func ExampleSingleSource() {
+	g, _ := crashsim.NewGraphBuilder(4, true).
+		AddEdge(2, 0).AddEdge(2, 1). // 0 and 1 share in-neighbor 2
+		AddEdge(3, 2).
+		Freeze()
+	scores, _ := crashsim.SingleSource(g, 0, crashsim.Options{Iterations: 20000, Seed: 1})
+	fmt.Printf("sim(0,0) = %.1f\n", scores[0])
+	fmt.Printf("sim(0,1) ~ c = %.1f\n", scores[1])
+	// Output:
+	// sim(0,0) = 1.0
+	// sim(0,1) ~ c = 0.6
+}
+
+// ExampleTopK ranks the nodes most similar to a source.
+func ExampleTopK() {
+	g := crashsim.PaperExampleGraph()
+	top, _ := crashsim.TopK(g, 0, 2, crashsim.Options{Iterations: 4000, Seed: 1})
+	for i, r := range top {
+		fmt.Printf("%d. node %c\n", i+1, 'A'+rune(r.Node))
+	}
+	// Output:
+	// 1. node D
+	// 2. node E
+}
+
+// ExampleQueryTemporal answers a temporal threshold query: which nodes
+// stay similar to the source across every snapshot.
+func ExampleQueryTemporal() {
+	tg, _ := crashsim.NewTemporalGraph(4, true,
+		[]crashsim.Edge{{X: 2, Y: 0}, {X: 2, Y: 1}, {X: 3, Y: 2}},
+		[]crashsim.Delta{{
+			Del: []crashsim.Edge{{X: 2, Y: 1}},
+			Add: []crashsim.Edge{{X: 3, Y: 1}},
+		}})
+	res, _ := crashsim.QueryTemporal(tg, 0, crashsim.ThresholdQuery(0.3),
+		crashsim.Options{Iterations: 2000, Seed: 1})
+	fmt.Println("stable nodes:", res.Omega)
+	// Output:
+	// stable nodes: [0]
+}
+
+// ExampleExactPair computes one exact SimRank value without the full
+// all-pairs matrix.
+func ExampleExactPair() {
+	g := crashsim.PaperExampleGraph()
+	s, _ := crashsim.ExactPair(g, 0, 3, 0.6) // sim(A, D)
+	fmt.Printf("sim(A,D) = %.4f\n", s)
+	// Output:
+	// sim(A,D) = 0.3542
+}

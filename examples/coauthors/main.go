@@ -1,0 +1,103 @@
+// Coauthors: a DBLP-style evolving co-authorship network. A temporal
+// trend query finds "rising collaborators": authors whose SimRank with a
+// target author increases monotonically as they publish their way into
+// the target's community — the temporal pattern a per-snapshot SimRank
+// cannot express.
+//
+//	go run ./examples/coauthors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crashsim"
+)
+
+const (
+	communityA = 12 // authors 0..11: the target's community
+	communityB = 12 // authors 12..23: a distant community
+	newcomers  = 4  // authors 24..27: start in B, migrate toward A
+	snapshots  = 5
+	target     = crashsim.NodeID(0)
+)
+
+func main() {
+	n := communityA + communityB + newcomers
+	snaps := make([][]crashsim.Edge, snapshots)
+	for t := range snaps {
+		snaps[t] = coauthorEdges(t)
+	}
+	tg, err := crashsim.FromSnapshots(n, false, snaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := crashsim.QueryTemporal(tg, target,
+		crashsim.TrendQuery(crashsim.Increasing, 0.02),
+		crashsim.Options{Iterations: 4000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Low-similarity survivors are noise (their scores fluctuate within
+	// the slack); the interesting risers sit near the top.
+	fmt.Printf("top authors with monotonically rising similarity to author %d:\n", target)
+	for _, v := range crashsim.TopSimilar(res.Final, target, 8) {
+		kind := "community A"
+		switch {
+		case int(v) >= communityA+communityB:
+			kind = "newcomer (migrating toward A)"
+		case int(v) >= communityA:
+			kind = "community B"
+		}
+		fmt.Printf("  author %-3d final-sim=%.4f  [%s]\n", v, res.Final[v], kind)
+	}
+	fmt.Printf("\npruning stats: evaluated=%d reused=%d\n",
+		res.Stats.Evaluated, res.Stats.ReusedDelta+res.Stats.ReusedDiff)
+}
+
+// coauthorEdges builds snapshot t: two stable ring-shaped communities,
+// with each newcomer accumulating one extra collaboration per snapshot
+// with community A while keeping a shrinking tie to community B.
+func coauthorEdges(t int) []crashsim.Edge {
+	var edges []crashsim.Edge
+	add := func(x, y int) {
+		edges = append(edges, crashsim.Edge{X: crashsim.NodeID(x), Y: crashsim.NodeID(y)})
+	}
+	ring := func(start, size int) {
+		for i := 0; i < size; i++ {
+			add(start+i, start+(i+1)%size)
+			add(start+i, start+(i+2)%size)
+		}
+	}
+	ring(0, communityA)
+	ring(communityA, communityB)
+	for k := 0; k < newcomers; k++ {
+		author := communityA + communityB + k
+		// One persistent tie into community B.
+		add(author, communityA+k)
+		// t collaborations into community A, spread around the target's
+		// neighborhood, so similarity to the target rises with t.
+		for j := 0; j <= t && j < communityA-1; j++ {
+			add(author, (k+j)%communityA)
+		}
+	}
+	return dedupe(edges)
+}
+
+func dedupe(edges []crashsim.Edge) []crashsim.Edge {
+	seen := map[crashsim.Edge]bool{}
+	out := edges[:0]
+	for _, e := range edges {
+		c := e
+		if c.X > c.Y {
+			c.X, c.Y = c.Y, c.X
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

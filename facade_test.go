@@ -1,0 +1,441 @@
+package crashsim_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"crashsim"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	scores, err := crashsim.SingleSource(g, 0, crashsim.Options{Iterations: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 1 {
+		t.Errorf("self score = %g", scores[0])
+	}
+	top := crashsim.TopSimilar(scores, 0, 3)
+	if len(top) != 3 {
+		t.Fatalf("TopSimilar returned %d nodes", len(top))
+	}
+	for _, v := range top {
+		if v == 0 {
+			t.Error("source in TopSimilar output")
+		}
+	}
+}
+
+func TestFacadeAgainstExact(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	gt, err := crashsim.Exact(g, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := crashsim.SingleSource(g, 2, crashsim.Options{C: 0.6, Eps: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, got := range scores {
+		if d := math.Abs(got - gt.Sim(2, v)); d > 0.08 {
+			t.Errorf("node %d: |%.4f - %.4f| = %.4f", v, got, gt.Sim(2, v), d)
+		}
+	}
+}
+
+func TestPartialMatchesSingleSource(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	opt := crashsim.Options{Iterations: 300, Seed: 9}
+	full, err := crashsim.SingleSource(g, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := crashsim.Partial(g, 1, []crashsim.NodeID{3, 5}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != 2 || part[3] != full[3] || part[5] != full[5] {
+		t.Errorf("partial %v inconsistent with full scores", part)
+	}
+}
+
+func TestGraphRoundTripThroughFacade(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	var buf bytes.Buffer
+	if err := crashsim.SaveGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := crashsim.LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Error("round trip changed the graph")
+	}
+}
+
+func TestTemporalFacade(t *testing.T) {
+	tg, err := crashsim.NewTemporalGraph(4, true,
+		[]crashsim.Edge{{X: 2, Y: 0}, {X: 2, Y: 1}, {X: 3, Y: 2}},
+		[]crashsim.Delta{{Del: []crashsim.Edge{{X: 2, Y: 1}}, Add: []crashsim.Edge{{X: 3, Y: 1}}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crashsim.QueryTemporal(tg, 0, crashsim.ThresholdQuery(0.3),
+		crashsim.Options{Iterations: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 shares in-neighbor 2 with node 0 only in snapshot 0; after
+	// the rewire its similarity collapses below the threshold.
+	for _, v := range res.Omega {
+		if v == 1 {
+			t.Errorf("node 1 survived threshold query: %v", res.Omega)
+		}
+	}
+	if res.Stats.Snapshots != 2 {
+		t.Errorf("Stats.Snapshots = %d", res.Stats.Snapshots)
+	}
+
+	var buf bytes.Buffer
+	if err := crashsim.SaveTemporal(&buf, tg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := crashsim.LoadTemporal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSnapshots() != 2 || got.NumNodes() != 4 {
+		t.Error("temporal round trip changed the graph")
+	}
+}
+
+func TestTrendQueryDirections(t *testing.T) {
+	inc := crashsim.TrendQuery(crashsim.Increasing, 0.01)
+	if !inc.Keep(1, 0.2, 0.3) || inc.Keep(1, 0.3, 0.1) {
+		t.Error("increasing trend predicate wrong")
+	}
+	dec := crashsim.TrendQuery(crashsim.Decreasing, 0.01)
+	if !dec.Keep(1, 0.3, 0.2) || dec.Keep(1, 0.1, 0.3) {
+		t.Error("decreasing trend predicate wrong")
+	}
+}
+
+func TestBaselinesThroughFacade(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	gt, err := crashsim.Exact(g, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ps, err := crashsim.BaselineProbeSim(g, 0, crashsim.Options{Iterations: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := crashsim.BuildSLING(g, crashsim.Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slScores, err := sl.SingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := crashsim.BuildREADS(g, 2000, crashsim.Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdScores, err := rd.SingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, scores := range map[string]crashsim.Scores{"probesim": ps, "sling": slScores, "reads": rdScores} {
+		tol := 0.08
+		if name == "reads" {
+			tol = 0.15 // READS has no error guarantee (paper Fig 5)
+		}
+		for v := crashsim.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if d := math.Abs(scores[v] - gt.Sim(0, v)); d > tol {
+				t.Errorf("%s: node %d off by %.4f", name, v, d)
+			}
+		}
+	}
+
+	// READS incremental update keeps working through the facade.
+	if err := rd.ApplyEdge(crashsim.Edge{X: 0, Y: 3}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.SingleSource(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleSourceWithError(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	opt := crashsim.Options{Iterations: 400, Seed: 3}
+	plain, err := crashsim.SingleSource(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withErr, err := crashsim.SingleSourceWithError(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, e := range withErr {
+		if e.Score != plain[v] {
+			t.Errorf("node %d: %g != %g", v, e.Score, plain[v])
+		}
+	}
+}
+
+func TestLinearSolver(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	gt, err := crashsim.Exact(g, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := crashsim.NewLinearSolver(g, crashsim.Options{C: 0.6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := ls.SingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := math.Abs(col[v] - gt.Sim(0, crashsim.NodeID(v))); d > 0.06 {
+			t.Errorf("node %d off by %.4f", v, d)
+		}
+	}
+}
+
+func TestMultiSourceFacade(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	opt := crashsim.Options{Iterations: 200, Seed: 5, Workers: 2}
+	batch, err := crashsim.MultiSource(g, []crashsim.NodeID{0, 3}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || batch[0][0] != 1 || batch[3][3] != 1 {
+		t.Errorf("batch results wrong: %v", batch)
+	}
+}
+
+func TestDurableTopKFacade(t *testing.T) {
+	tg, err := crashsim.NewTemporalGraph(4, true,
+		[]crashsim.Edge{{X: 2, Y: 0}, {X: 2, Y: 1}, {X: 3, Y: 2}},
+		[]crashsim.Delta{{Del: []crashsim.Edge{{X: 2, Y: 1}}, Add: []crashsim.Edge{{X: 3, Y: 1}}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := crashsim.DurableTopK(tg, 0, 2, crashsim.Options{Iterations: 500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("got %d results", len(top))
+	}
+	if top[0].MinScore < top[1].MinScore {
+		t.Error("durable results not sorted")
+	}
+}
+
+func TestQueryTemporalInterval(t *testing.T) {
+	// Three snapshots; node 1 is similar to 0 only from snapshot 1 on.
+	tg, err := crashsim.NewTemporalGraph(4, true,
+		[]crashsim.Edge{{X: 2, Y: 0}, {X: 3, Y: 1}, {X: 3, Y: 2}},
+		[]crashsim.Delta{
+			{Del: []crashsim.Edge{{X: 3, Y: 1}}, Add: []crashsim.Edge{{X: 2, Y: 1}}},
+			{},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := crashsim.Options{Iterations: 500, Seed: 9}
+	full, err := crashsim.QueryTemporal(tg, 0, crashsim.ThresholdQuery(0.3), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over the whole history node 1 fails at snapshot 0.
+	for _, v := range full.Omega {
+		if v == 1 {
+			t.Errorf("node 1 survived the full interval: %v", full.Omega)
+		}
+	}
+	// Over [1, 3) it is similar throughout and survives.
+	late, err := crashsim.QueryTemporalInterval(tg, 0, crashsim.ThresholdQuery(0.3), 1, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range late.Omega {
+		if v == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("node 1 missing from late-interval result: %v", late.Omega)
+	}
+	if _, err := crashsim.QueryTemporalInterval(tg, 0, crashsim.ThresholdQuery(0.3), 2, 1, opt); err == nil {
+		t.Error("bad interval accepted")
+	}
+}
+
+func TestBandQueryFacade(t *testing.T) {
+	q := crashsim.BandQuery(0.1, 0.5)
+	if !q.Keep(1, 0, 0.3) || q.Keep(1, 0, 0.6) || q.Keep(1, 0, 0.05) {
+		t.Error("band predicate wrong")
+	}
+}
+
+func TestSinglePairFacade(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	gt, err := crashsim.ExactPair(g, 0, 3, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := crashsim.SinglePair(g, 0, 3, crashsim.Options{Iterations: 3000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-gt) > 0.05 {
+		t.Errorf("SinglePair %.4f vs exact %.4f", got, gt)
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	// Two disconnected triangles cluster cleanly.
+	g, err := crashsim.NewGraphBuilder(6, false).
+		AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 0).
+		AddEdge(3, 4).AddEdge(4, 5).AddEdge(5, 3).
+		Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crashsim.ClusterGraph(g, 0.1, crashsim.Options{Iterations: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clusters {
+		low, high := false, false
+		for _, v := range c.Members {
+			if v < 3 {
+				low = true
+			} else {
+				high = true
+			}
+		}
+		if low && high {
+			t.Errorf("cluster spans both triangles: %v", c.Members)
+		}
+	}
+	if cov := crashsim.ClusterCoverage(g, res); cov < 0 || cov > 1 {
+		t.Errorf("coverage %g out of range", cov)
+	}
+	if aff := crashsim.ClusterAffinity(g, res); aff < 0 || aff > 1 {
+		t.Errorf("affinity %g out of range", aff)
+	}
+}
+
+func TestRecommendFacade(t *testing.T) {
+	opt := crashsim.PurchaseGraphOptions{
+		Users: 16, Items: 32, Groups: 4, PurchasesPerUser: 4,
+		Snapshots: 4, DriftRate: 0.2, Seed: 6,
+	}
+	tg, _, err := crashsim.GeneratePurchaseGraph(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crashsim.RecommendForUser(tg, 0, opt.Users, 0.03, 5,
+		crashsim.Options{Iterations: 800, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StableUsers) == 0 {
+		t.Error("no stable users on a zero-switch workload")
+	}
+	for _, rec := range res.Items {
+		if int(rec.Item) < opt.Users {
+			t.Errorf("recommended a user: %v", rec)
+		}
+	}
+}
+
+func TestFromSnapshotsFacade(t *testing.T) {
+	tg, err := crashsim.FromSnapshots(3, true, [][]crashsim.Edge{
+		{{X: 0, Y: 1}},
+		{{X: 0, Y: 1}, {X: 1, Y: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NumSnapshots() != 2 {
+		t.Errorf("snapshots = %d", tg.NumSnapshots())
+	}
+}
+
+func TestFacadeErrorPaths(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	bad := crashsim.Options{C: 9}
+	if _, err := crashsim.BaselineProbeSim(g, 0, bad); err == nil {
+		t.Error("probesim bad options accepted")
+	}
+	if _, err := crashsim.BuildSLING(g, bad); err == nil {
+		t.Error("sling bad options accepted")
+	}
+	if _, err := crashsim.BuildREADS(g, 5, bad); err == nil {
+		t.Error("reads bad options accepted")
+	}
+	if _, err := crashsim.NewLinearSolver(g, bad); err == nil {
+		t.Error("linsim bad options accepted")
+	}
+	sl, err := crashsim.BuildSLING(g, crashsim.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sl.SingleSource(99); err == nil {
+		t.Error("sling bad source accepted")
+	}
+	rd, err := crashsim.BuildREADS(g, 5, crashsim.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.SingleSource(99); err == nil {
+		t.Error("reads bad source accepted")
+	}
+	if _, err := crashsim.QueryTemporal(nil, 0, nil, crashsim.Options{}); err == nil {
+		t.Error("nil query accepted")
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	ds := crashsim.Datasets()
+	if len(ds) != 5 {
+		t.Fatalf("Datasets returned %d profiles", len(ds))
+	}
+	p, err := crashsim.Dataset("hepth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := crashsim.GenerateStatic(p, 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < 100 {
+		t.Errorf("generated graph too small: %d nodes", g.NumNodes())
+	}
+	tg, err := crashsim.GenerateTemporal(p, 0.02, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NumSnapshots() != 5 {
+		t.Errorf("snapshots = %d, want 5", tg.NumSnapshots())
+	}
+	if _, err := crashsim.Dataset("bogus"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module crashsim
+
+go 1.22

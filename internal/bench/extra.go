@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"crashsim/internal/core"
+	"crashsim/internal/exact"
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+	"crashsim/internal/linsim"
+	"crashsim/internal/probesim"
+	"crashsim/internal/prsim"
+	"crashsim/internal/reads"
+	"crashsim/internal/rng"
+	"crashsim/internal/sling"
+	"crashsim/internal/tsf"
+)
+
+// Extra runs the extended single-source comparison beyond the paper's
+// Fig 5 lineup: CrashSim and the three paper baselines plus the TSF
+// one-way-graph index (related work [16]) and the classic Fogaras
+// pairwise Monte-Carlo method — on one dataset, reporting mean response
+// time (index build included for the indexed methods) and mean ME.
+func Extra(cfg Config) (*Report, error) {
+	cfg = cfg.WithDefaults()
+	prof, err := gen.ProfileByName("wiki-vote")
+	if err != nil {
+		return nil, err
+	}
+	p := prof.Scaled(cfg.TemporalScale)
+	seed := rng.SeedString(fmt.Sprintf("extra/%d", cfg.Seed))
+	g, err := p.Static(seed)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	gt, err := exact.PowerMethod(g, exact.PowerOptions{
+		C: cfg.C, Iterations: cfg.GroundTruthIters, MaxNodes: -1, Workers: cfg.GTWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sources := cfg.sources("extra", g, cfg.Sources)
+
+	type algo struct {
+		name  string
+		build func() (func(u graph.NodeID) (map[graph.NodeID]float64, error), error)
+	}
+	dg := diGraphOf(g)
+	algos := []algo{
+		{"crashsim", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
+			params := core.Params{C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
+				Iterations: cfg.crashIters(n, cfg.Eps), Seed: seed}
+			return func(u graph.NodeID) (map[graph.NodeID]float64, error) {
+				return core.SingleSource(g, u, nil, params)
+			}, nil
+		}},
+		{"probesim", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
+			o := probesim.Options{C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
+				Iterations: cfg.probeIters(n, cfg.Eps), Seed: seed + 1}
+			return func(u graph.NodeID) (map[graph.NodeID]float64, error) {
+				return probesim.SingleSource(g, u, o)
+			}, nil
+		}},
+		{"sling", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
+			ix, err := sling.Build(g, sling.Options{C: cfg.C, Eps: cfg.Eps, DSamples: cfg.SlingDSamples, Seed: seed + 2})
+			if err != nil {
+				return nil, err
+			}
+			return ix.SingleSource, nil
+		}},
+		{"reads", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
+			ix, err := reads.Build(dg, reads.Options{C: cfg.C, R: cfg.ReadsR, RQ: cfg.ReadsRQ, Seed: seed + 3})
+			if err != nil {
+				return nil, err
+			}
+			return ix.SingleSource, nil
+		}},
+		{"tsf", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
+			ix, err := tsf.Build(dg, tsf.Options{C: cfg.C, Rg: cfg.ReadsR, Seed: seed + 4})
+			if err != nil {
+				return nil, err
+			}
+			return ix.SingleSource, nil
+		}},
+		{"fogaras-mc", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
+			o := exact.PairMCOptions{C: cfg.C, Trials: cfg.crashIters(n, cfg.Eps), Seed: seed + 5}
+			return func(u graph.NodeID) (map[graph.NodeID]float64, error) {
+				return exact.MCSingleSource(g, u, o)
+			}, nil
+		}},
+		{"prsim", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
+			ix, err := prsim.Build(g, prsim.Options{
+				C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta, HubFraction: 0.05,
+				Iterations: cfg.crashIters(n, cfg.Eps), DSamples: cfg.SlingDSamples, Seed: seed + 7,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return ix.SingleSource, nil
+		}},
+		{"linsim", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
+			s, err := linsim.New(g, linsim.Options{C: cfg.C, Eps: cfg.Eps, DSamples: cfg.SlingDSamples, Seed: seed + 6})
+			if err != nil {
+				return nil, err
+			}
+			return func(u graph.NodeID) (map[graph.NodeID]float64, error) {
+				col, err := s.SingleSource(u)
+				if err != nil {
+					return nil, err
+				}
+				out := make(map[graph.NodeID]float64, len(col))
+				for v, sc := range col {
+					if sc != 0 {
+						out[graph.NodeID(v)] = sc
+					}
+				}
+				return out, nil
+			}, nil
+		}},
+	}
+
+	rep := &Report{
+		Title: "Extra: extended single-source comparison (wiki-vote stand-in)",
+		Notes: []string{
+			fmt.Sprintf("n=%d sources=%d eps=%g (index build included where applicable)", n, len(sources), cfg.Eps),
+			"tsf, fogaras-mc, prsim and linsim are beyond the paper's Fig 5 lineup; see DESIGN.md",
+		},
+		Columns: []string{"algorithm", "mean-time", "mean-ME"},
+	}
+	for _, a := range algos {
+		buildStart := time.Now()
+		run, err := a.build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", a.name, err)
+		}
+		buildTime := time.Since(buildStart)
+		res, err := measure("wiki-vote", a.name, sources, gt, run)
+		if err != nil {
+			return nil, err
+		}
+		res.MeanTime += buildTime
+		rep.AddRow(a.name, res.MeanTime.Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%.4f", res.MeanME))
+	}
+	return rep, nil
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"crashsim/internal/core"
+	"crashsim/internal/exact"
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+	"crashsim/internal/metrics"
+	"crashsim/internal/probesim"
+	"crashsim/internal/reads"
+	"crashsim/internal/rng"
+	"crashsim/internal/sling"
+)
+
+// Fig5Result is one measured cell of Fig 5: an algorithm's mean response
+// time and mean max-error on one dataset.
+type Fig5Result struct {
+	Dataset   string
+	Algorithm string
+	MeanTime  time.Duration
+	MeanME    float64
+}
+
+// Fig5 reproduces the paper's Fig 5: single-source response time and
+// maximum error ME on each static dataset for CrashSim at each ε, versus
+// ProbeSim, SLING and READS (index time included in response time, as in
+// the paper). Ground truth is the Power Method.
+func Fig5(cfg Config) ([]Fig5Result, *Report, error) {
+	cfg = cfg.WithDefaults()
+	var results []Fig5Result
+	for _, prof := range gen.Profiles() {
+		p := prof.Scaled(cfg.Scale)
+		seed := rng.SeedString(fmt.Sprintf("fig5/%s/%d", p.Name, cfg.Seed))
+		g, err := p.Static(seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: generating %s: %w", p.Name, err)
+		}
+		n := g.NumNodes()
+		gt, err := exact.PowerMethod(g, exact.PowerOptions{
+			C: cfg.C, Iterations: cfg.GroundTruthIters, MaxNodes: -1, Workers: cfg.GTWorkers,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: ground truth for %s: %w", p.Name, err)
+		}
+		sources := cfg.sources("fig5/"+p.Name, g, cfg.Sources)
+
+		// CrashSim at each ε.
+		for _, eps := range cfg.Epsilons {
+			params := core.Params{
+				C: cfg.C, Eps: eps, Delta: cfg.Delta,
+				Iterations: cfg.crashIters(n, eps), Seed: seed,
+			}
+			res, err := measure(p.Name, fmt.Sprintf("crashsim(eps=%g)", eps), sources, gt,
+				func(u graph.NodeID) (map[graph.NodeID]float64, error) {
+					return core.SingleSource(g, u, nil, params)
+				})
+			if err != nil {
+				return nil, nil, err
+			}
+			results = append(results, res)
+		}
+
+		// ProbeSim.
+		po := probesim.Options{
+			C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
+			Iterations: cfg.probeIters(n, cfg.Eps), Seed: seed + 1,
+		}
+		res, err := measure(p.Name, "probesim", sources, gt,
+			func(u graph.NodeID) (map[graph.NodeID]float64, error) {
+				return probesim.SingleSource(g, u, po)
+			})
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+
+		// SLING: index built once; the build time is charged to every
+		// query's response time, matching the paper's accounting.
+		buildStart := time.Now()
+		slingIx, err := sling.Build(g, sling.Options{
+			C: cfg.C, Eps: cfg.Eps, DSamples: cfg.SlingDSamples, Seed: seed + 2,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: sling build on %s: %w", p.Name, err)
+		}
+		slingBuild := time.Since(buildStart)
+		res, err = measure(p.Name, "sling", sources, gt,
+			func(u graph.NodeID) (map[graph.NodeID]float64, error) {
+				return slingIx.SingleSource(u)
+			})
+		if err != nil {
+			return nil, nil, err
+		}
+		res.MeanTime += slingBuild
+		results = append(results, res)
+
+		// READS: same accounting.
+		dg := diGraphOf(g)
+		buildStart = time.Now()
+		readsIx, err := reads.Build(dg, reads.Options{C: cfg.C, R: cfg.ReadsR, RQ: cfg.ReadsRQ, Seed: seed + 3})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: reads build on %s: %w", p.Name, err)
+		}
+		readsBuild := time.Since(buildStart)
+		res, err = measure(p.Name, "reads", sources, gt,
+			func(u graph.NodeID) (map[graph.NodeID]float64, error) {
+				return readsIx.SingleSource(u)
+			})
+		if err != nil {
+			return nil, nil, err
+		}
+		res.MeanTime += readsBuild
+		results = append(results, res)
+	}
+
+	rep := &Report{
+		Title: "Fig 5: single-source response time and max error (static datasets)",
+		Notes: []string{
+			fmt.Sprintf("scale=%.3g sources=%d iter-scale=%.3g c=%.2g (index build included for sling/reads)",
+				cfg.Scale, cfg.Sources, cfg.IterScale, cfg.C),
+		},
+		Columns: []string{"dataset", "algorithm", "mean-time", "mean-ME"},
+	}
+	for _, r := range results {
+		rep.AddRow(r.Dataset, r.Algorithm, r.MeanTime.Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%.4f", r.MeanME))
+	}
+	return results, rep, nil
+}
+
+// measure runs one algorithm over all sources, timing each query and
+// computing its ME against ground truth.
+func measure(dataset, algo string, sources []int32, gt *exact.Result,
+	run func(u graph.NodeID) (map[graph.NodeID]float64, error)) (Fig5Result, error) {
+	var total time.Duration
+	var mes []float64
+	for _, u := range sources {
+		start := time.Now()
+		scores, err := run(graph.NodeID(u))
+		total += time.Since(start)
+		if err != nil {
+			return Fig5Result{}, fmt.Errorf("bench: %s on %s (source %d): %w", algo, dataset, u, err)
+		}
+		mes = append(mes, metrics.MaxError(gt.SingleSource(graph.NodeID(u)), scores))
+	}
+	return Fig5Result{
+		Dataset:   dataset,
+		Algorithm: algo,
+		MeanTime:  total / time.Duration(len(sources)),
+		MeanME:    metrics.MeanFloat(mes),
+	}, nil
+}
+
+func diGraphOf(g *graph.Graph) *graph.DiGraph {
+	d := graph.NewDiGraph(g.NumNodes(), g.Directed())
+	for _, e := range g.Edges() {
+		if err := d.AddEdge(e.X, e.Y); err != nil {
+			panic(fmt.Sprintf("bench: converting frozen graph: %v", err))
+		}
+	}
+	return d
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+
+	"crashsim/internal/core"
+	"crashsim/internal/exact"
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+	"crashsim/internal/metrics"
+	"crashsim/internal/probesim"
+	"crashsim/internal/reads"
+	"crashsim/internal/rng"
+	"crashsim/internal/sling"
+	"crashsim/internal/temporal"
+	"crashsim/internal/tempq"
+)
+
+// Fig6Result is one measured cell of Fig 6: an engine's result-set
+// precision for one query type on one temporal dataset.
+type Fig6Result struct {
+	Dataset   string
+	Query     string
+	Engine    string
+	Precision float64
+}
+
+// Fig6 reproduces the paper's Fig 6: precision of the temporal trend and
+// threshold queries for CrashSim-T versus the per-snapshot baseline
+// adapters, against Power-Method ground truth on every snapshot.
+func Fig6(cfg Config) ([]Fig6Result, *Report, error) {
+	cfg = cfg.WithDefaults()
+	var results []Fig6Result
+	for _, prof := range gen.Profiles() {
+		p := prof.Scaled(cfg.TemporalScale).WithSnapshots(cfg.Snapshots)
+		seed := rng.SeedString(fmt.Sprintf("fig6/%s/%d", p.Name, cfg.Seed))
+		tg, err := p.Temporal(seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: generating %s: %w", p.Name, err)
+		}
+		n := tg.NumNodes()
+		g0, err := tg.Snapshot(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		u := graph.NodeID(cfg.sources("fig6/"+p.Name, g0, 1)[0])
+
+		queries := []tempq.Query{
+			tempq.Trend{Direction: tempq.Increasing, Slack: cfg.Eps},
+			tempq.Threshold{Theta: 2 * cfg.Eps},
+		}
+		for _, q := range queries {
+			truth, err := (&tempq.PowerT{Options: exact.PowerOptions{
+				C: cfg.C, Iterations: cfg.GroundTruthIters, MaxNodes: -1, Workers: cfg.GTWorkers,
+			}}).Run(tg, u, q)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: ground truth on %s: %w", p.Name, err)
+			}
+			for _, e := range fig6Engines(cfg, n, seed) {
+				got, err := e.Run(tg, u, q)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bench: %s on %s: %w", e.Name(), p.Name, err)
+				}
+				results = append(results, Fig6Result{
+					Dataset:   p.Name,
+					Query:     q.Name(),
+					Engine:    e.Name(),
+					Precision: metrics.Precision(truth, got),
+				})
+			}
+		}
+	}
+
+	rep := &Report{
+		Title: "Fig 6: precision of temporal trend and threshold queries",
+		Notes: []string{
+			fmt.Sprintf("scale=%.3g snapshots=%d eps=%g c=%.2g (ground truth: per-snapshot power method)",
+				cfg.TemporalScale, cfg.Snapshots, cfg.Eps, cfg.C),
+		},
+		Columns: []string{"dataset", "query", "engine", "precision"},
+	}
+	for _, r := range results {
+		rep.AddRow(r.Dataset, r.Query, r.Engine, fmt.Sprintf("%.3f", r.Precision))
+	}
+	return results, rep, nil
+}
+
+// fig6Engines builds the four compared engines with budgets matched to
+// the Fig 5 configuration.
+func fig6Engines(cfg Config, n int, seed uint64) []tempq.Engine {
+	return []tempq.Engine{
+		&tempq.CrashSimT{Params: core.Params{
+			C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
+			Iterations: cfg.crashIters(n, cfg.Eps), Seed: seed + 10,
+		}},
+		&tempq.ProbeSimT{Options: probesim.Options{
+			C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
+			Iterations: cfg.probeIters(n, cfg.Eps), Seed: seed + 11,
+		}},
+		&tempq.SLINGT{Options: sling.Options{
+			C: cfg.C, Eps: cfg.Eps, DSamples: cfg.SlingDSamples, Seed: seed + 12,
+		}},
+		&tempq.READST{Options: reads.Options{
+			C: cfg.C, R: cfg.ReadsR, RQ: cfg.ReadsRQ, Seed: seed + 13,
+		}},
+	}
+}
+
+// temporalOf generates a temporal graph for the Fig 7 experiment.
+func temporalOf(p gen.Profile, seed uint64) (*temporal.Graph, error) {
+	return p.Temporal(seed)
+}

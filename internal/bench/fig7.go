@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+	"crashsim/internal/rng"
+	"crashsim/internal/tempq"
+	"crashsim/internal/textplot"
+)
+
+// Fig7Result is one measured point of Fig 7: an engine's total response
+// time for the temporal trend query over a given interval length.
+type Fig7Result struct {
+	Engine    string
+	Snapshots int
+	TotalTime time.Duration
+	OmegaSize int
+}
+
+// Fig7 reproduces the paper's Fig 7: the impact of the query-interval
+// length on the total response time of the temporal trend query, on
+// AS-733-shaped workloads of 100/200/500/700 snapshots. CrashSim-T's
+// advantage grows with the interval because pruning plus the shrinking
+// candidate set amortize, while the baselines recompute per snapshot.
+func Fig7(cfg Config) ([]Fig7Result, *Report, error) {
+	cfg = cfg.WithDefaults()
+	maxT := 0
+	for _, t := range cfg.Fig7Snapshots {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	prof, err := gen.ProfileByName("as-733")
+	if err != nil {
+		return nil, nil, err
+	}
+	p := prof.Scaled(cfg.Fig7Scale).WithSnapshots(maxT)
+	seed := rng.SeedString(fmt.Sprintf("fig7/%d", cfg.Seed))
+	full, err := temporalOf(p, seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: generating as-733 history: %w", err)
+	}
+	n := full.NumNodes()
+	g0, err := full.Snapshot(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	u := graph.NodeID(cfg.sources("fig7", g0, 1)[0])
+	var q tempq.Query
+	switch cfg.Fig7Query {
+	case "trend":
+		q = tempq.Trend{Direction: tempq.Increasing, Slack: cfg.Eps}
+	case "threshold":
+		q = tempq.Threshold{Theta: 2 * cfg.Eps}
+	default:
+		return nil, nil, fmt.Errorf("bench: unknown fig7 query %q (want trend or threshold)", cfg.Fig7Query)
+	}
+
+	var results []Fig7Result
+	for _, t := range cfg.Fig7Snapshots {
+		tg, err := full.Slice(0, t)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: slicing %d snapshots: %w", t, err)
+		}
+		for _, e := range fig6Engines(cfg, n, seed) {
+			start := time.Now()
+			omega, err := e.Run(tg, u, q)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: %s over %d snapshots: %w", e.Name(), t, err)
+			}
+			results = append(results, Fig7Result{
+				Engine:    e.Name(),
+				Snapshots: t,
+				TotalTime: elapsed,
+				OmegaSize: len(omega),
+			})
+		}
+	}
+
+	rep := &Report{
+		Title: fmt.Sprintf("Fig 7: total response time of the temporal %s query vs interval length (as-733)", cfg.Fig7Query),
+		Notes: []string{
+			fmt.Sprintf("scale=%.3g n=%d eps=%g c=%.2g query=%s", cfg.Fig7Scale, n, cfg.Eps, cfg.C, q.Name()),
+		},
+		Columns: []string{"snapshots", "engine", "total-time", "|omega|"},
+	}
+	for _, r := range results {
+		rep.AddRow(fmt.Sprintf("%d", r.Snapshots), r.Engine,
+			r.TotalTime.Round(time.Millisecond).String(), fmt.Sprintf("%d", r.OmegaSize))
+	}
+	rep.Footer = fig7Chart(cfg.Fig7Snapshots, results)
+	return results, rep, nil
+}
+
+// fig7Chart renders the response-time-vs-interval curves as an ASCII
+// figure (seconds on the y-axis).
+func fig7Chart(snapshots []int, results []Fig7Result) []string {
+	byEngine := map[string][]float64{}
+	var order []string
+	for _, r := range results {
+		if _, ok := byEngine[r.Engine]; !ok {
+			order = append(order, r.Engine)
+		}
+		byEngine[r.Engine] = append(byEngine[r.Engine], r.TotalTime.Seconds())
+	}
+	series := make([]textplot.Series, 0, len(order))
+	for _, name := range order {
+		if len(byEngine[name]) != len(snapshots) {
+			return nil // shape mismatch; skip the cosmetic chart
+		}
+		series = append(series, textplot.Series{Name: name, Ys: byEngine[name]})
+	}
+	chart := textplot.Chart(snapshots, series, 56, 14)
+	return append([]string{"", "total time (s) vs snapshots:"}, strings.Split(strings.TrimRight(chart, "\n"), "\n")...)
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Report is a rendered experiment: a header, column names, and rows of
+// already-formatted cells. Runners return Reports so cmd/repro, the
+// benchmarks and the tests all consume the same structure.
+type Report struct {
+	Title   string
+	Notes   []string
+	Columns []string
+	Rows    [][]string
+	// Footer holds preformatted lines (e.g. an ASCII chart) printed
+	// after the table by Fprint; FprintCSV emits them as comments.
+	Footer []string
+}
+
+// AddRow appends one formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// FprintCSV renders the report as CSV (RFC-4180 quoting via
+// encoding/csv), with the title and notes as leading comment lines.
+func (r *Report) FprintCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", r.Title); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, line := range r.Footer {
+		if _, err := fmt.Fprintf(w, "# %s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fprint renders the report as an aligned text table.
+func (r *Report) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", r.Title); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "   %s\n", n); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Columns, "\t"))
+	underline := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		underline[i] = strings.Repeat("-", len(c))
+	}
+	fmt.Fprintln(tw, strings.Join(underline, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, line := range r.Footer {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

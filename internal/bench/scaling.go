@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"crashsim/internal/core"
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+	"crashsim/internal/probesim"
+	"crashsim/internal/rng"
+	"crashsim/internal/textplot"
+)
+
+// ScalingResult is one measured point: an algorithm's mean single-source
+// time at one graph size.
+type ScalingResult struct {
+	Algorithm string
+	Nodes     int
+	Edges     int
+	MeanTime  time.Duration
+}
+
+// Scaling measures how the two index-free methods' single-source
+// response time grows with graph size at fixed average degree, the
+// empirical check of Section III-C's complexity claims: CrashSim is
+// O(m + n_r·|Ω|) per query (with n_r growing only logarithmically in
+// n), so its curve should stay near-linear in n.
+func Scaling(cfg Config) ([]ScalingResult, *Report, error) {
+	cfg = cfg.WithDefaults()
+	prof, err := gen.ProfileByName("wiki-vote")
+	if err != nil {
+		return nil, nil, err
+	}
+	scales := []float64{0.01, 0.02, 0.04, 0.08}
+	var results []ScalingResult
+	var xs []int
+	for _, scale := range scales {
+		p := prof.Scaled(scale)
+		seed := rng.SeedString(fmt.Sprintf("scaling/%g/%d", scale, cfg.Seed))
+		g, err := p.Static(seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: generating scale %g: %w", scale, err)
+		}
+		n := g.NumNodes()
+		xs = append(xs, n)
+		sources := cfg.sources(fmt.Sprintf("scaling/%g", scale), g, cfg.Sources)
+
+		params := core.Params{
+			C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
+			Iterations: cfg.crashIters(n, cfg.Eps), Seed: seed,
+		}
+		crashTime, err := timeOnly(sources, func(u graph.NodeID) error {
+			_, err := core.SingleSource(g, u, nil, params)
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, ScalingResult{"crashsim", n, g.NumEdges(), crashTime})
+
+		po := probesim.Options{
+			C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
+			Iterations: cfg.probeIters(n, cfg.Eps), Seed: seed + 1,
+		}
+		probeTime, err := timeOnly(sources, func(u graph.NodeID) error {
+			_, err := probesim.SingleSource(g, u, po)
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, ScalingResult{"probesim", n, g.NumEdges(), probeTime})
+	}
+
+	rep := &Report{
+		Title: "Scaling: single-source time vs graph size (wiki-vote model, fixed avg degree)",
+		Notes: []string{
+			fmt.Sprintf("sources=%d eps=%g iter-scale=%g", cfg.Sources, cfg.Eps, cfg.IterScale),
+		},
+		Columns: []string{"nodes", "edges", "algorithm", "mean-time"},
+	}
+	for _, r := range results {
+		rep.AddRow(fmt.Sprintf("%d", r.Nodes), fmt.Sprintf("%d", r.Edges),
+			r.Algorithm, r.MeanTime.Round(10*time.Microsecond).String())
+	}
+	series := []textplot.Series{{Name: "crashsim"}, {Name: "probesim"}}
+	for _, r := range results {
+		idx := 0
+		if r.Algorithm == "probesim" {
+			idx = 1
+		}
+		series[idx].Ys = append(series[idx].Ys, r.MeanTime.Seconds()*1000)
+	}
+	chart := textplot.Chart(xs, series, 56, 12)
+	rep.Footer = append([]string{"", "mean time (ms) vs nodes:"},
+		strings.Split(strings.TrimRight(chart, "\n"), "\n")...)
+	return results, rep, nil
+}
+
+// timeOnly times fn over all sources without accuracy bookkeeping.
+func timeOnly(sources []int32, fn func(u graph.NodeID) error) (time.Duration, error) {
+	var total time.Duration
+	for _, u := range sources {
+		start := time.Now()
+		if err := fn(graph.NodeID(u)); err != nil {
+			return 0, err
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(len(sources)), nil
+}

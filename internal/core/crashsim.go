@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/rng"
+)
+
+// Scores maps candidate nodes to their SimRank estimate with respect to
+// the query source.
+type Scores map[graph.NodeID]float64
+
+// SampleWalk appends to buf a truncated √c-walk starting at v: at every
+// step the walk stops with probability 1−√c, otherwise it moves to a
+// uniformly chosen in-neighbor; it also stops at nodes without
+// in-neighbors and after maxSteps steps. The returned slice holds the
+// visited nodes (v first), so it has between 1 and maxSteps+1 elements.
+func SampleWalk(g adjacency, v graph.NodeID, c float64, maxSteps int, r *rng.Source, buf []graph.NodeID) []graph.NodeID {
+	sc := math.Sqrt(c)
+	buf = append(buf[:0], v)
+	cur := v
+	for step := 0; step < maxSteps; step++ {
+		if r.Float64() >= sc {
+			break
+		}
+		in := g.In(cur)
+		if len(in) == 0 {
+			break
+		}
+		cur = in[r.IntN(len(in))]
+		buf = append(buf, cur)
+	}
+	return buf
+}
+
+// SingleSource runs CrashSim (Algorithm 1): it estimates the SimRank
+// between u and every node in the candidate set omega on graph g. A nil
+// omega means all nodes, i.e. the usual single-source query. The result
+// satisfies |s(u,v) − sim(u,v)| ≤ ε with probability ≥ 1−δ per node
+// (Theorem 1).
+func SingleSource(g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params) (Scores, error) {
+	tree, q, err := prepare(g, u, p)
+	if err != nil {
+		return nil, err
+	}
+	return estimate(g, u, omega, q, tree)
+}
+
+// SingleSourceWithTree is SingleSource with a caller-provided reverse
+// reachable tree for u, letting CrashSim-T reuse the tree it already
+// computed for pruning. The tree must have been built on g with the same
+// parameters.
+func SingleSourceWithTree(g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params, tree *ReachTree) (Scores, error) {
+	q := p.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkSource(g, u); err != nil {
+		return nil, err
+	}
+	if tree == nil || tree.Source != u || tree.Lmax != q.Lmax {
+		return nil, fmt.Errorf("core: provided tree does not match source %d with lmax %d", u, q.Lmax)
+	}
+	return estimate(g, u, omega, q, tree)
+}
+
+// BuildTree builds the reverse reachable tree CrashSim would use for a
+// query from u under p. It is exposed for CrashSim-T and for tools that
+// inspect the tree (cmd/repro's Example 2 reproduction).
+func BuildTree(g adjacency, u graph.NodeID, p Params) (*ReachTree, error) {
+	q := p.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.NonBacktracking {
+		return RevReachNonBacktracking(g, u, q.C, q.Lmax, q.Transition), nil
+	}
+	return RevReach(g, u, q.C, q.Lmax, q.Transition), nil
+}
+
+func prepare(g *graph.Graph, u graph.NodeID, p Params) (*ReachTree, Params, error) {
+	q := p.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, q, err
+	}
+	if err := checkSource(g, u); err != nil {
+		return nil, q, err
+	}
+	tree, err := BuildTree(g, u, q)
+	if err != nil {
+		return nil, q, err
+	}
+	return tree, q, nil
+}
+
+func checkSource(g *graph.Graph, u graph.NodeID) error {
+	if u < 0 || int(u) >= g.NumNodes() {
+		return fmt.Errorf("core: source %d out of range for n=%d", u, g.NumNodes())
+	}
+	return nil
+}
+
+// estimate runs the n_r Monte-Carlo iterations. The loop is organized
+// per-candidate rather than per-iteration (the sums are identical), so
+// candidates can be processed independently and in parallel; every
+// candidate draws from its own random stream, which makes results
+// invariant to the worker count and to the composition of omega.
+func estimate(g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params, tree *ReachTree) (Scores, error) {
+	n := g.NumNodes()
+	if omega == nil {
+		omega = make([]graph.NodeID, n)
+		for v := range omega {
+			omega[v] = graph.NodeID(v)
+		}
+	}
+	for _, v := range omega {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("core: candidate %d out of range for n=%d", v, n)
+		}
+	}
+	nr := p.iterations(n)
+	if nr < 1 {
+		return nil, fmt.Errorf("core: derived iteration count %d < 1", nr)
+	}
+
+	scores := make(Scores, len(omega))
+	for _, v := range omega {
+		scores[v] = 0
+	}
+
+	// Zero-score prefilter: a candidate's walk can only crash into the
+	// source tree if the candidate is forward-reachable (via out-edges)
+	// from some tree node within l_max hops. Everything else provably
+	// scores 0, so it is excluded before any sampling — on graphs with
+	// small reverse neighborhoods (e.g. citation graphs with many
+	// uncited papers) this removes most of the work.
+	if !p.DisablePrefilter {
+		reach := forwardReach(g, tree.Nodes(), p.Lmax)
+		live := omega[:0:0]
+		for _, v := range omega {
+			if _, ok := reach[v]; ok && g.InDegree(v) > 0 {
+				live = append(live, v)
+			} else if v == u {
+				scores[v] = 1
+			}
+		}
+		omega = live
+	}
+
+	workers := p.Workers
+	if workers > len(omega) {
+		workers = len(omega)
+	}
+	if workers <= 1 {
+		for _, v := range omega {
+			scores[v] = estimateCandidate(g, u, v, p, tree, nr)
+		}
+		return scores, nil
+	}
+
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		next int
+	)
+	chunk := (len(omega) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := next
+		hi := lo + chunk
+		if hi > len(omega) {
+			hi = len(omega)
+		}
+		next = hi
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []graph.NodeID) {
+			defer wg.Done()
+			local := make(Scores, len(part))
+			for _, v := range part {
+				local[v] = estimateCandidate(g, u, v, p, tree, nr)
+			}
+			mu.Lock()
+			for v, s := range local {
+				scores[v] = s
+			}
+			mu.Unlock()
+		}(omega[lo:hi])
+	}
+	wg.Wait()
+	return scores, nil
+}
+
+// forwardReach returns the set of nodes reachable from any source node
+// by following out-edges within depth hops, sources included — one
+// multi-source BFS, O(n + m).
+func forwardReach(g *graph.Graph, sources []graph.NodeID, depth int) map[graph.NodeID]struct{} {
+	reach := make(map[graph.NodeID]struct{}, len(sources)*2)
+	frontier := make([]graph.NodeID, 0, len(sources))
+	for _, s := range sources {
+		if _, ok := reach[s]; !ok {
+			reach[s] = struct{}{}
+			frontier = append(frontier, s)
+		}
+	}
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []graph.NodeID
+		for _, v := range frontier {
+			for _, w := range g.Out(v) {
+				if _, ok := reach[w]; !ok {
+					reach[w] = struct{}{}
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return reach
+}
+
+// estimateCandidate runs the n_r walks for one candidate and returns the
+// averaged crash probability.
+func estimateCandidate(g *graph.Graph, u, v graph.NodeID, p Params, tree *ReachTree, nr int) float64 {
+	if v == u {
+		return 1 // sim(u,u) = 1 by definition
+	}
+	r := rng.Split(p.Seed, uint64(v))
+	sc := math.Sqrt(p.C)
+	var walk []graph.NodeID
+	sum := 0.0
+	for k := 0; k < nr; k++ {
+		walk = SampleWalk(g, v, p.C, p.Lmax, r, walk)
+		sum += walkContribution(g, walk, tree, p.Meeting, sc)
+	}
+	return sum / float64(nr)
+}
+
+// walkContribution scores one sampled candidate walk against the source
+// tree under the configured meeting rule. Position i of the walk
+// (0-indexed) is the candidate walk's location after i steps; crashing
+// requires the source walk to be at the same node after the same number
+// of steps. Position 0 contributes only when the candidate is the
+// source, which callers handle directly.
+func walkContribution(g *graph.Graph, walk []graph.NodeID, tree *ReachTree, rule MeetingRule, sc float64) float64 {
+	sum := 0.0
+	switch rule {
+	case MeetingAny:
+		for i := 1; i < len(walk); i++ {
+			sum += tree.Prob(i, walk[i])
+		}
+	case MeetingFirstCrash:
+		for i := 1; i < len(walk); i++ {
+			if pr := tree.Prob(i, walk[i]); pr > 0 {
+				sum += pr
+				break
+			}
+		}
+	default: // MeetingFirstMeet
+		// carried is C_i: the probability mass of source walks that met
+		// this walk at an earlier position and then followed the walk's
+		// own path; it is excluded from later crashes.
+		carried := 0.0
+		for i := 1; i < len(walk); i++ {
+			m := tree.Prob(i, walk[i]) - carried
+			if m < 0 {
+				m = 0
+			}
+			sum += m
+			if in := g.InDegree(walk[i]); in > 0 {
+				carried = (carried + m) * sc / float64(in)
+			} else {
+				carried = 0
+			}
+		}
+	}
+	return sum
+}

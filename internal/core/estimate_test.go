@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"crashsim/internal/exact"
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+// TestWithErrorScoresMatchSingleSource: the Score fields must equal the
+// plain estimator bit-for-bit (shared random streams).
+func TestWithErrorScoresMatchSingleSource(t *testing.T) {
+	g := graph.PaperExample()
+	p := Params{Iterations: 300, Seed: 21}
+	plain, err := SingleSource(g, 0, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withErr, err := SingleSourceWithError(g, 0, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withErr) != len(plain) {
+		t.Fatalf("sizes differ: %d vs %d", len(withErr), len(plain))
+	}
+	for v, e := range withErr {
+		if e.Score != plain[v] {
+			t.Errorf("node %d: with-error score %g != plain %g", v, e.Score, plain[v])
+		}
+		if e.StdErr < 0 {
+			t.Errorf("node %d: negative stderr %g", v, e.StdErr)
+		}
+	}
+}
+
+// TestConfidenceIntervalsCoverTruth: on a deterministic run, the 3-sigma
+// interval around each estimate must contain the exact value for every
+// node (a single 3σ miss over 60 nodes would indicate a broken variance
+// computation, not bad luck, given the fixed seed).
+func TestConfidenceIntervalsCoverTruth(t *testing.T) {
+	edges, err := gen.ErdosRenyi(60, 180, true, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.BuildStatic(60, true, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := exact.PowerMethod(g, exact.PowerOptions{C: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := SingleSourceWithError(g, 0, nil, Params{C: 0.6, Iterations: 3000, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for v, e := range ests {
+		truth := gt.Sim(0, v)
+		// Allow the tiny first-meeting bias on top of 3σ.
+		if math.Abs(e.Score-truth) > 3*e.StdErr+0.01 {
+			misses++
+			t.Logf("node %d: score %.4f ± %.4f vs truth %.4f", v, e.Score, e.StdErr, truth)
+		}
+	}
+	if misses > 1 {
+		t.Errorf("%d nodes outside 3σ+bias window", misses)
+	}
+}
+
+func TestWithErrorZeroCandidates(t *testing.T) {
+	// Unreachable candidates carry exactly zero score and zero stderr.
+	g := graph.NewBuilder(4, true).AddEdge(1, 0).AddEdge(2, 3).MustFreeze()
+	ests, err := SingleSourceWithError(g, 0, nil, Params{Iterations: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := ests[3]; e.Score != 0 || e.StdErr != 0 {
+		t.Errorf("unreachable candidate has %+v", e)
+	}
+	if e := ests[0]; e.Score != 1 || e.StdErr != 0 {
+		t.Errorf("source has %+v", e)
+	}
+}
+
+func TestWithErrorValidation(t *testing.T) {
+	g := graph.PaperExample()
+	if _, err := SingleSourceWithError(g, 99, nil, Params{Iterations: 5}); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := SingleSourceWithError(g, 0, []graph.NodeID{42}, Params{Iterations: 5}); err == nil {
+		t.Error("bad candidate accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"crashsim/internal/graph"
+)
+
+// MultiSource answers a batch of single-source queries, parallelizing
+// across sources (p.Workers bounds the concurrency; each per-source run
+// is sequential). Results are keyed by source and are identical to
+// running SingleSource per source — including the per-candidate random
+// streams, so batch and individual runs agree bit-for-bit.
+func MultiSource(g *graph.Graph, sources []graph.NodeID, p Params) (map[graph.NodeID]Scores, error) {
+	q := p.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	for _, u := range sources {
+		if err := checkSource(g, u); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[graph.NodeID]Scores, len(sources))
+	if len(sources) == 0 {
+		return out, nil
+	}
+
+	perSource := q
+	perSource.Workers = 1
+
+	workers := q.Workers
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 {
+		for _, u := range sources {
+			s, err := SingleSource(g, u, nil, perSource)
+			if err != nil {
+				return nil, err
+			}
+			out[u] = s
+		}
+		return out, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		next     int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(sources) {
+					mu.Unlock()
+					return
+				}
+				u := sources[next]
+				next++
+				mu.Unlock()
+
+				s, err := SingleSource(g, u, nil, perSource)
+
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: multi-source at %d: %w", u, err)
+					}
+				} else {
+					out[u] = s
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

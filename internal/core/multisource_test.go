@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+func TestMultiSourceMatchesSingleSource(t *testing.T) {
+	edges, err := gen.ErdosRenyi(40, 120, true, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.BuildStatic(40, true, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []graph.NodeID{0, 7, 13, 39}
+	p := Params{Iterations: 150, Seed: 3, Workers: 3}
+	batch, err := MultiSource(g, sources, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(sources) {
+		t.Fatalf("batch has %d entries, want %d", len(batch), len(sources))
+	}
+	single := p
+	single.Workers = 1
+	for _, u := range sources {
+		want, err := SingleSource(g, u, nil, single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch[u]
+		if len(got) != len(want) {
+			t.Fatalf("source %d: %d vs %d entries", u, len(got), len(want))
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Errorf("source %d node %d: batch %g != single %g", u, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestMultiSourceErrors(t *testing.T) {
+	g := graph.PaperExample()
+	if _, err := MultiSource(g, []graph.NodeID{0, 99}, Params{Iterations: 10}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := MultiSource(g, []graph.NodeID{0}, Params{C: 9}); err == nil {
+		t.Error("bad params accepted")
+	}
+	empty, err := MultiSource(g, nil, Params{Iterations: 10})
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty batch: %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"crashsim/internal/graph"
+)
+
+// ReachTree is the output of revReach (Algorithm 2): for every step
+// t ∈ [0, lmax] and node x, Prob(t, x) is the probability that the
+// truncated √c-walk starting from the source is at x after t steps.
+//
+// Levels are sparse maps because a √c-walk's mass concentrates on the
+// reverse neighborhood of the source. All construction is performed in
+// sorted node order so probabilities are bit-for-bit deterministic for a
+// given graph, which CrashSim-T's tree-equality pruning relies on.
+type ReachTree struct {
+	Source graph.NodeID
+	Lmax   int
+	levels []map[graph.NodeID]float64
+}
+
+// Prob returns U[step][v], or 0 when the walk cannot be at v at step.
+func (t *ReachTree) Prob(step int, v graph.NodeID) float64 {
+	if step < 0 || step >= len(t.levels) {
+		return 0
+	}
+	return t.levels[step][v]
+}
+
+// Level returns the non-zero entries of level step; the map is shared and
+// must not be modified.
+func (t *ReachTree) Level(step int) map[graph.NodeID]float64 {
+	if step < 0 || step >= len(t.levels) {
+		return nil
+	}
+	return t.levels[step]
+}
+
+// NumLevels returns the number of stored levels (lmax + 1).
+func (t *ReachTree) NumLevels() int { return len(t.levels) }
+
+// LevelMass returns Σ_x U[step][x]. For the exact transition rule it is
+// bounded by (√c)^step, a property the tests verify.
+func (t *ReachTree) LevelMass(step int) float64 {
+	sum := 0.0
+	for _, p := range t.Level(step) {
+		sum += p
+	}
+	return sum
+}
+
+// Support returns the number of (step, node) entries with positive mass.
+func (t *ReachTree) Support() int {
+	total := 0
+	for _, lv := range t.levels {
+		total += len(lv)
+	}
+	return total
+}
+
+// Equal reports whether two trees have the same support and probabilities
+// within tol (use tol = 0 for exact equality; CrashSim-T uses a small
+// tolerance because adjacency enumeration order may differ between
+// otherwise identical snapshots).
+func (t *ReachTree) Equal(o *ReachTree, tol float64) bool {
+	if o == nil || len(t.levels) != len(o.levels) {
+		return false
+	}
+	for step := range t.levels {
+		a, b := t.levels[step], o.levels[step]
+		if len(a) != len(b) {
+			return false
+		}
+		for v, pa := range a {
+			pb, ok := b[v]
+			if !ok || math.Abs(pa-pb) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DiffNodes returns the sorted set of nodes whose probability differs
+// from o's by more than tol at any level (including nodes present in
+// only one tree). CrashSim-T's delta pruning treats the forward reach of
+// these nodes as affected: a candidate whose walks cannot hit a changed
+// tree entry sees identical crash probabilities.
+func (t *ReachTree) DiffNodes(o *ReachTree, tol float64) []graph.NodeID {
+	seen := make(map[graph.NodeID]struct{})
+	levels := len(t.levels)
+	if o != nil && len(o.levels) > levels {
+		levels = len(o.levels)
+	}
+	for step := 0; step < levels; step++ {
+		a := t.Level(step)
+		var b map[graph.NodeID]float64
+		if o != nil {
+			b = o.Level(step)
+		}
+		for v, pa := range a {
+			if pb, ok := b[v]; !ok || math.Abs(pa-pb) > tol {
+				seen[v] = struct{}{}
+			}
+		}
+		for v := range b {
+			if _, ok := a[v]; !ok {
+				seen[v] = struct{}{}
+			}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nodes returns the sorted set of nodes with positive mass at any level.
+// CrashSim-T's delta pruning treats these as part (i) of the affected
+// area of the source.
+func (t *ReachTree) Nodes() []graph.NodeID {
+	seen := make(map[graph.NodeID]struct{})
+	for _, lv := range t.levels {
+		for v := range lv {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// adjacency abstracts the two graph representations revReach runs on:
+// immutable CSR snapshots and the mutable working graph of a temporal
+// cursor.
+type adjacency interface {
+	NumNodes() int
+	In(v graph.NodeID) []graph.NodeID
+	InDegree(v graph.NodeID) int
+}
+
+// RevReach builds the reverse reachable tree of u (Algorithm 2) with the
+// given decay factor, truncation length and transition rule, using a
+// level-synchronized dynamic program: level t+1 is derived from level t
+// by pushing each node's mass to its in-neighbors. The cost is
+// O(l_max · m) in the worst case and proportional to the touched
+// neighborhood in practice.
+func RevReach(g adjacency, u graph.NodeID, c float64, lmax int, rule TransitionRule) *ReachTree {
+	sc := math.Sqrt(c)
+	t := &ReachTree{
+		Source: u,
+		Lmax:   lmax,
+		levels: make([]map[graph.NodeID]float64, lmax+1),
+	}
+	t.levels[0] = map[graph.NodeID]float64{u: 1}
+	var order []graph.NodeID
+	for step := 0; step < lmax; step++ {
+		cur := t.levels[step]
+		next := make(map[graph.NodeID]float64, len(cur)*2)
+		order = order[:0]
+		for x := range cur {
+			order = append(order, x)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, x := range order {
+			in := g.In(x)
+			if len(in) == 0 {
+				continue
+			}
+			mass := cur[x]
+			switch rule {
+			case TransitionExact:
+				w := mass * sc / float64(len(in))
+				for _, v := range in {
+					next[v] += w
+				}
+			case TransitionPaperLiteral:
+				for _, v := range in {
+					deg := g.InDegree(v)
+					if deg == 0 {
+						continue
+					}
+					next[v] += mass * sc / float64(deg)
+				}
+			}
+		}
+		t.levels[step+1] = next
+	}
+	return t
+}
+
+// RevReachNonBacktracking builds the tree over the non-backtracking
+// variant of the √c-walk that Algorithm 2 line 9 describes: the walk
+// never immediately returns to the node it just came from. States are
+// (node, parent) pairs, so the cost grows with the number of touched
+// edges rather than nodes. Node-level marginals are returned in the same
+// ReachTree shape. Combined with TransitionPaperLiteral this reproduces
+// the paper's Example 2 numbers exactly; it is otherwise an ablation.
+func RevReachNonBacktracking(g adjacency, u graph.NodeID, c float64, lmax int, rule TransitionRule) *ReachTree {
+	type state struct{ node, parent graph.NodeID }
+	sc := math.Sqrt(c)
+	t := &ReachTree{
+		Source: u,
+		Lmax:   lmax,
+		levels: make([]map[graph.NodeID]float64, lmax+1),
+	}
+	t.levels[0] = map[graph.NodeID]float64{u: 1}
+	cur := map[state]float64{{node: u, parent: -1}: 1}
+	var order []state
+	for step := 0; step < lmax; step++ {
+		next := make(map[state]float64, len(cur)*2)
+		order = order[:0]
+		for s := range cur {
+			order = append(order, s)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].node != order[j].node {
+				return order[i].node < order[j].node
+			}
+			return order[i].parent < order[j].parent
+		})
+		for _, s := range order {
+			in := g.In(s.node)
+			// Candidate next hops exclude the parent.
+			avail := 0
+			for _, v := range in {
+				if v != s.parent {
+					avail++
+				}
+			}
+			if avail == 0 {
+				continue
+			}
+			mass := cur[s]
+			for _, v := range in {
+				if v == s.parent {
+					continue
+				}
+				var w float64
+				switch rule {
+				case TransitionPaperLiteral:
+					deg := g.InDegree(v)
+					if deg == 0 {
+						continue
+					}
+					w = mass * sc / float64(deg)
+				default:
+					w = mass * sc / float64(avail)
+				}
+				next[state{node: v, parent: s.node}] += w
+			}
+		}
+		level := make(map[graph.NodeID]float64, len(next))
+		for s, p := range next {
+			level[s.node] += p
+		}
+		t.levels[step+1] = level
+		cur = next
+	}
+	return t
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+// TestRevReachExample2 reproduces the reverse reachable tree of node A
+// from the paper's Example 2 (c = 0.25, √c = 0.5) exactly. The paper's
+// numbers arise from the non-backtracking expansion (Algorithm 2 line 9)
+// combined with the literal √c/|I(v)| transition of Algorithm 2 line 12.
+func TestRevReachExample2(t *testing.T) {
+	g := graph.PaperExample()
+	A := graph.PaperNode("A")
+	tree := RevReachNonBacktracking(g, A, 0.25, 6, TransitionPaperLiteral)
+
+	want := []struct {
+		step  int
+		node  string
+		value float64
+	}{
+		{0, "A", 1},
+		{1, "B", 0.25},
+		{1, "C", 1.0 / 6},
+		{2, "E", 0.0625},
+		{2, "B", 1.0 / 24},
+		{2, "D", 1.0 / 24},
+		{3, "H", 0.015625},
+		{3, "A", 1.0 / 96},
+		{3, "E", 1.0 / 96},
+		{3, "B", 1.0 / 96},
+	}
+	for _, w := range want {
+		got := tree.Prob(w.step, graph.PaperNode(w.node))
+		if math.Abs(got-w.value) > 1e-12 {
+			t.Errorf("U(%d,%s) = %.6f, want %.6f", w.step, w.node, got, w.value)
+		}
+	}
+	// The paper's level sizes: level 1 has {B, C}, level 2 has {E, B, D}
+	// (A is excluded by the parent rule), level 3 has {H, A, E, B}.
+	for step, wantLen := range map[int]int{1: 2, 2: 3, 3: 4} {
+		if got := len(tree.Level(step)); got != wantLen {
+			t.Errorf("level %d has %d entries, want %d (%v)", step, got, wantLen, tree.Level(step))
+		}
+	}
+}
+
+// TestExample2CrashProbability checks the walk-contribution arithmetic of
+// Example 2: for walk W(C) = (C, D, B, A), the crash probability against
+// A's tree is U(2,B) + U(3,A) = 1/24 + 1/96 ≈ 0.0521.
+func TestExample2CrashProbability(t *testing.T) {
+	g := graph.PaperExample()
+	A := graph.PaperNode("A")
+	tree := RevReachNonBacktracking(g, A, 0.25, 6, TransitionPaperLiteral)
+	walk := []graph.NodeID{graph.PaperNode("C"), graph.PaperNode("D"), graph.PaperNode("B"), graph.PaperNode("A")}
+	sum := 0.0
+	for i := 1; i < len(walk); i++ {
+		sum += tree.Prob(i, walk[i])
+	}
+	if want := 1.0/24 + 1.0/96; math.Abs(sum-want) > 1e-12 {
+		t.Errorf("crash probability = %.6f, want %.6f", sum, want)
+	}
+}
+
+// TestRevReachExactMassBound verifies the defining property of the exact
+// transition rule: the level-t mass is exactly (√c)^t times the
+// probability that a t-step prefix exists, hence at most (√c)^t.
+func TestRevReachExactMassBound(t *testing.T) {
+	g := graph.PaperExample()
+	c := 0.6
+	tree := RevReach(g, graph.PaperNode("A"), c, DeriveLmax(c), TransitionExact)
+	for step := 0; step < tree.NumLevels(); step++ {
+		mass := tree.LevelMass(step)
+		bound := math.Pow(math.Sqrt(c), float64(step))
+		if mass > bound+1e-12 {
+			t.Errorf("level %d mass %.6f exceeds (√c)^t = %.6f", step, mass, bound)
+		}
+	}
+	// On the example graph every node has an in-neighbor, so the walk
+	// never dies structurally and the mass is exactly the bound.
+	for step := 0; step < tree.NumLevels(); step++ {
+		mass := tree.LevelMass(step)
+		bound := math.Pow(math.Sqrt(c), float64(step))
+		if math.Abs(mass-bound) > 1e-9 {
+			t.Errorf("level %d mass %.9f != (√c)^t = %.9f on dangling-free graph", step, mass, bound)
+		}
+	}
+}
+
+// TestRevReachMassBoundQuick property-checks the sub-distribution bound
+// on random graphs, which may contain dangling nodes that absorb mass.
+func TestRevReachMassBoundQuick(t *testing.T) {
+	c := 0.6
+	lmax := 8
+	f := func(seed uint64) bool {
+		edges, err := gen.ErdosRenyi(30, 60, true, seed)
+		if err != nil {
+			return false
+		}
+		g, err := gen.BuildStatic(30, true, edges)
+		if err != nil {
+			return false
+		}
+		tree := RevReach(g, 0, c, lmax, TransitionExact)
+		for step := 0; step <= lmax; step++ {
+			if tree.LevelMass(step) > math.Pow(math.Sqrt(c), float64(step))+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReachTreeEqual(t *testing.T) {
+	g := graph.PaperExample()
+	A := graph.PaperNode("A")
+	a := RevReach(g, A, 0.6, 10, TransitionExact)
+	b := RevReach(g, A, 0.6, 10, TransitionExact)
+	if !a.Equal(b, 0) {
+		t.Error("identical computations not Equal at tol 0")
+	}
+	c := RevReach(g, graph.PaperNode("B"), 0.6, 10, TransitionExact)
+	if a.Equal(c, 1e-9) {
+		t.Error("trees of different sources reported Equal")
+	}
+	if a.Equal(nil, 0) {
+		t.Error("Equal(nil) = true")
+	}
+	short := RevReach(g, A, 0.6, 5, TransitionExact)
+	if a.Equal(short, 1e-9) {
+		t.Error("trees with different lmax reported Equal")
+	}
+}
+
+func TestReachTreeEqualDetectsEdgeChange(t *testing.T) {
+	d := graph.NewDiGraph(8, true)
+	for _, e := range graph.PaperExample().Edges() {
+		if err := d.AddEdge(e.X, e.Y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	A := graph.PaperNode("A")
+	before := RevReach(d.Freeze(), A, 0.6, 10, TransitionExact)
+	// Removing an edge far from A (G -> F) still alters A's tree because
+	// F and G are reverse-reachable from A via H and E.
+	if err := d.RemoveEdge(graph.PaperNode("G"), graph.PaperNode("F")); err != nil {
+		t.Fatal(err)
+	}
+	after := RevReach(d.Freeze(), A, 0.6, 10, TransitionExact)
+	if before.Equal(after, 1e-12) {
+		t.Error("tree unchanged after removing a reverse-reachable edge")
+	}
+}
+
+func TestReachTreeNodes(t *testing.T) {
+	g := graph.PaperExample()
+	tree := RevReach(g, graph.PaperNode("A"), 0.6, 10, TransitionExact)
+	nodes := tree.Nodes()
+	// Every node of the example graph is reverse-reachable from A within
+	// 10 steps.
+	if len(nodes) != 8 {
+		t.Errorf("tree covers %d nodes, want 8: %v", len(nodes), nodes)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Errorf("Nodes() not sorted: %v", nodes)
+		}
+	}
+}
+
+func TestReachTreeProbOutOfRange(t *testing.T) {
+	tree := RevReach(graph.PaperExample(), 0, 0.6, 4, TransitionExact)
+	if tree.Prob(-1, 0) != 0 || tree.Prob(99, 0) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+	if tree.Level(-1) != nil || tree.Level(99) != nil {
+		t.Error("out-of-range Level should be nil")
+	}
+}
+
+func TestTransitionRuleStrings(t *testing.T) {
+	if TransitionExact.String() != "exact" || TransitionPaperLiteral.String() != "paper-literal" {
+		t.Error("TransitionRule strings wrong")
+	}
+	if MeetingAny.String() != "any" || MeetingFirstCrash.String() != "first-crash" {
+		t.Error("MeetingRule strings wrong")
+	}
+	if TransitionRule(9).String() == "" || MeetingRule(9).String() == "" {
+		t.Error("unknown enum values should still stringify")
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/temporal"
+)
+
+// TemporalQuery is the per-snapshot filtering predicate of a temporal
+// SimRank query (Definition 3). Concrete trend and threshold queries live
+// in internal/tempq; CrashSim-T only needs the incremental Keep decision.
+type TemporalQuery interface {
+	// Name identifies the query in reports.
+	Name() string
+	// Keep reports whether a candidate with score cur at snapshot t and
+	// score prev at snapshot t-1 remains in the candidate set. At t = 0,
+	// prev is NaN.
+	Keep(t int, prev, cur float64) bool
+}
+
+// TemporalOptions tunes CrashSim-T beyond the static Params.
+type TemporalOptions struct {
+	// DisableDeltaPruning turns off the affected-area rule (Property 1).
+	DisableDeltaPruning bool
+	// DisableDiffPruning turns off the reverse-tree comparison rule
+	// (Property 2).
+	DisableDiffPruning bool
+	// TreeTolerance is the per-entry tolerance when comparing reverse
+	// reachable trees between snapshots. Default 1e-12.
+	TreeTolerance float64
+	// Observer, when set, is invoked after every snapshot with the
+	// snapshot index and the scores of the current candidate set
+	// (before the query filter is applied). The map must not be
+	// retained or modified. It powers aggregate queries such as
+	// durable top-k that need the whole score trajectory.
+	Observer func(t int, scores Scores)
+}
+
+func (o TemporalOptions) withDefaults() TemporalOptions {
+	if o.TreeTolerance == 0 {
+		o.TreeTolerance = 1e-12
+	}
+	return o
+}
+
+// TemporalStats counts the work CrashSim-T did and the work the pruning
+// rules avoided; the Fig 7 harness reports them alongside timings.
+type TemporalStats struct {
+	Snapshots       int // snapshots processed
+	Evaluated       int // candidate scores recomputed via CrashSim
+	ReusedDelta     int // candidate scores reused thanks to delta pruning
+	ReusedDiff      int // candidate scores reused thanks to difference pruning
+	TreeStableSteps int // snapshot transitions with an unchanged source tree
+}
+
+// TemporalResult is the outcome of a temporal SimRank query.
+type TemporalResult struct {
+	// Omega is the final candidate set: every node whose score satisfied
+	// the query at every snapshot of the interval, sorted by id.
+	Omega []graph.NodeID
+	// Final holds the last snapshot's scores for the surviving nodes.
+	Final Scores
+	// Stats describes the work performed.
+	Stats TemporalStats
+}
+
+// CrashSimT answers a temporal SimRank query (Algorithm 3) over the
+// whole history of tg: it starts from the full node set, recomputes per
+// snapshot only the scores the pruning rules cannot prove unchanged, and
+// filters the candidate set with the query predicate after every
+// snapshot.
+func CrashSimT(tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, topt TemporalOptions) (*TemporalResult, error) {
+	pp := p.withDefaults()
+	if err := pp.Validate(); err != nil {
+		return nil, err
+	}
+	if q == nil {
+		return nil, fmt.Errorf("core: temporal query must not be nil")
+	}
+	to := topt.withDefaults()
+	n := tg.NumNodes()
+	if u < 0 || int(u) >= n {
+		return nil, fmt.Errorf("core: source %d out of range for n=%d", u, n)
+	}
+	cur, err := tg.Cursor()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TemporalResult{}
+	nr := pp.iterations(n)
+
+	// Snapshot 0: full single-source computation and initial filter.
+	gPrev := cur.Freeze()
+	treePrev, err := BuildTree(gPrev, u, pp)
+	if err != nil {
+		return nil, err
+	}
+	scoresPrev, err := SingleSourceWithTree(gPrev, u, nil, pp, treePrev)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Snapshots++
+	res.Stats.Evaluated += n
+	if to.Observer != nil {
+		to.Observer(0, scoresPrev)
+	}
+	omega := make(map[graph.NodeID]float64, n)
+	for v, s := range scoresPrev {
+		if q.Keep(0, math.NaN(), s) {
+			omega[v] = s
+		}
+	}
+
+	for cur.Next() {
+		t := cur.T()
+		delta := tg.Delta(t - 1)
+		gCur := cur.Freeze()
+		tree, err := BuildTree(gCur, u, pp)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Snapshots++
+
+		candidates := sortedKeys(omega)
+		recompute := candidates
+		reused := make(Scores, len(omega))
+
+		treeDiff := tree.DiffNodes(treePrev, to.TreeTolerance)
+		if len(treeDiff) == 0 {
+			res.Stats.TreeStableSteps++
+		}
+		eOmega := countOmegaEdges(gCur, omega)
+
+		// Delta pruning (Theorem 2 / Property 1): a candidate's score
+		// can only change if (i) its walks can hit a changed source-tree
+		// entry, or (ii) its own walk distribution changed — both only
+		// possible inside the forward reach of the altered tree nodes
+		// and of the changed edges' heads. Candidates outside that
+		// affected area reuse the previous snapshot's score, which is
+		// bit-exact because each candidate owns its random stream.
+		if !to.DisableDeltaPruning &&
+			float64(delta.Size())*float64(eOmega) < float64(len(omega))*float64(nr) {
+			affected := affectedArea(gCur, tg.Directed(), delta, treeDiff, pp.Lmax)
+			var remaining []graph.NodeID
+			for _, v := range recompute {
+				if _, hit := affected[v]; hit {
+					remaining = append(remaining, v)
+				} else {
+					reused[v] = omega[v]
+					res.Stats.ReusedDelta++
+				}
+			}
+			recompute = remaining
+		}
+
+		// Difference pruning (Property 2): when the source tree is
+		// stable and the candidate subgraph is small, compare each
+		// remaining candidate's own reverse reachable tree across the
+		// two snapshots and skip the unchanged ones. (With a changed
+		// source tree this rule is unsound — a candidate's crash
+		// probabilities change even if its walk distribution does not —
+		// hence the gate, which is also Algorithm 3 line 7.)
+		if !to.DisableDiffPruning && len(treeDiff) == 0 && eOmega < nr {
+			var remaining []graph.NodeID
+			for _, v := range recompute {
+				tv := RevReach(gCur, v, pp.C, pp.Lmax, pp.Transition)
+				tvPrev := RevReach(gPrev, v, pp.C, pp.Lmax, pp.Transition)
+				if tv.Equal(tvPrev, to.TreeTolerance) {
+					reused[v] = omega[v]
+					res.Stats.ReusedDiff++
+				} else {
+					remaining = append(remaining, v)
+				}
+			}
+			recompute = remaining
+		}
+
+		var fresh Scores
+		if len(recompute) > 0 {
+			fresh, err = SingleSourceWithTree(gCur, u, recompute, pp, tree)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.Evaluated += len(recompute)
+		}
+
+		cur := make(Scores, len(omega))
+		for _, v := range candidates {
+			if s, ok := reused[v]; ok {
+				cur[v] = s
+			} else {
+				cur[v] = fresh[v]
+			}
+		}
+		if to.Observer != nil {
+			to.Observer(t, cur)
+		}
+		next := make(map[graph.NodeID]float64, len(omega))
+		for _, v := range candidates {
+			if s := cur[v]; q.Keep(t, omega[v], s) {
+				next[v] = s
+			}
+		}
+		omega = next
+		gPrev, treePrev = gCur, tree
+	}
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+
+	res.Omega = sortedKeys(omega)
+	res.Final = make(Scores, len(omega))
+	for v, s := range omega {
+		res.Final[v] = s
+	}
+	return res, nil
+}
+
+// affectedArea returns Theorem 2's affected area as one multi-source
+// forward BFS of depth lmax: the reach of (i) the altered nodes of the
+// source's reverse reachable tree and (ii) the nodes whose in-neighbor
+// lists changed (each changed edge's head for directed graphs, both
+// endpoints for undirected ones). A candidate outside this set samples
+// identical walks and consults identical crash probabilities, so its
+// score is provably unchanged.
+func affectedArea(g *graph.Graph, directed bool, d temporal.Delta, treeDiff []graph.NodeID, lmax int) map[graph.NodeID]struct{} {
+	sources := append([]graph.NodeID(nil), treeDiff...)
+	for _, set := range [][]graph.Edge{d.Add, d.Del} {
+		for _, e := range set {
+			sources = append(sources, e.Y)
+			if !directed {
+				sources = append(sources, e.X)
+			}
+		}
+	}
+	return forwardReach(g, sources, lmax)
+}
+
+// countOmegaEdges returns |E(Ω)|: the number of edges of g with both
+// endpoints in the candidate set.
+func countOmegaEdges(g *graph.Graph, omega map[graph.NodeID]float64) int {
+	count := 0
+	for v := range omega {
+		for _, x := range g.In(v) {
+			if _, ok := omega[x]; ok {
+				count++
+			}
+		}
+	}
+	if !g.Directed() {
+		count /= 2
+	}
+	return count
+}
+
+func sortedKeys(m map[graph.NodeID]float64) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

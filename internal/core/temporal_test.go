@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+	"crashsim/internal/temporal"
+)
+
+// thresholdQuery is a minimal TemporalQuery for core-level tests (the
+// full query types live in internal/tempq).
+type thresholdQuery struct{ theta float64 }
+
+func (q thresholdQuery) Name() string                    { return "test-threshold" }
+func (q thresholdQuery) Keep(_ int, _, cur float64) bool { return cur >= q.theta }
+
+// trendQuery keeps non-decreasing score sequences within slack.
+type trendQuery struct{ slack float64 }
+
+func (q trendQuery) Name() string { return "test-trend" }
+func (q trendQuery) Keep(_ int, prev, cur float64) bool {
+	return math.IsNaN(prev) || cur >= prev-q.slack
+}
+
+func churnGraph(t *testing.T, n, m, snapshots int, rate float64, seed uint64) *temporal.Graph {
+	t.Helper()
+	base, err := gen.ErdosRenyi(n, m, true, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := gen.Churn(n, true, base, gen.ChurnOptions{
+		Snapshots: snapshots, AddRate: rate, DelRate: rate, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestCrashSimTValidation(t *testing.T) {
+	tg := churnGraph(t, 20, 40, 3, 0.05, 1)
+	p := Params{Iterations: 20, Seed: 1}
+	if _, err := CrashSimT(tg, 99, thresholdQuery{0.1}, p, TemporalOptions{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := CrashSimT(tg, 0, nil, p, TemporalOptions{}); err == nil {
+		t.Error("nil query accepted")
+	}
+	if _, err := CrashSimT(tg, 0, thresholdQuery{0.1}, Params{C: 3}, TemporalOptions{}); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestCrashSimTThresholdBasic(t *testing.T) {
+	tg := churnGraph(t, 30, 90, 5, 0.02, 2)
+	p := Params{Iterations: 150, Seed: 3}
+	res, err := CrashSimT(tg, 0, thresholdQuery{0.0}, p, TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0 keeps everything, including the source.
+	if len(res.Omega) != 30 {
+		t.Errorf("threshold 0 kept %d nodes, want all 30", len(res.Omega))
+	}
+	if res.Stats.Snapshots != 5 {
+		t.Errorf("processed %d snapshots, want 5", res.Stats.Snapshots)
+	}
+	// Impossible threshold keeps only the source (score 1).
+	res, err = CrashSimT(tg, 0, thresholdQuery{0.99}, p, TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Omega) != 1 || res.Omega[0] != 0 {
+		t.Errorf("threshold 0.99 kept %v, want [0]", res.Omega)
+	}
+	if res.Final[0] != 1 {
+		t.Errorf("final score of source = %g, want 1", res.Final[0])
+	}
+}
+
+// TestCrashSimTPruningEquivalence is the central correctness property of
+// Section IV: with per-candidate random streams, delta pruning reuses a
+// score exactly when recomputation would reproduce it, so the pruned and
+// unpruned runs return identical result sets and scores.
+func TestCrashSimTPruningEquivalence(t *testing.T) {
+	tg := churnGraph(t, 50, 120, 8, 0.01, 5)
+	p := Params{Iterations: 80, Seed: 9}
+	q := thresholdQuery{0.02}
+
+	pruned, err := CrashSimT(tg, 0, q, p, TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpruned, err := CrashSimT(tg, 0, q, p, TemporalOptions{
+		DisableDeltaPruning: true, DisableDiffPruning: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pruned.Omega, unpruned.Omega) {
+		t.Errorf("result sets differ:\npruned   %v\nunpruned %v", pruned.Omega, unpruned.Omega)
+	}
+	for v, s := range unpruned.Final {
+		if pruned.Final[v] != s {
+			t.Errorf("final score differs at %d: pruned %g, unpruned %g", v, pruned.Final[v], s)
+		}
+	}
+	if pruned.Stats.ReusedDelta+pruned.Stats.ReusedDiff == 0 {
+		t.Error("pruning never engaged on a low-churn workload; test is vacuous")
+	}
+	if pruned.Stats.Evaluated >= unpruned.Stats.Evaluated {
+		t.Errorf("pruned run evaluated %d >= unpruned %d", pruned.Stats.Evaluated, unpruned.Stats.Evaluated)
+	}
+}
+
+// TestCrashSimTDeltaOnlyEquivalence isolates the delta rule.
+func TestCrashSimTDeltaOnlyEquivalence(t *testing.T) {
+	tg := churnGraph(t, 40, 100, 6, 0.01, 7)
+	p := Params{Iterations: 60, Seed: 11}
+	q := trendQuery{slack: 0.05}
+	deltaOnly, err := CrashSimT(tg, 1, q, p, TemporalOptions{DisableDiffPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := CrashSimT(tg, 1, q, p, TemporalOptions{DisableDeltaPruning: true, DisableDiffPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(deltaOnly.Omega, none.Omega) {
+		t.Errorf("delta-only result differs from unpruned:\n%v\n%v", deltaOnly.Omega, none.Omega)
+	}
+}
+
+// TestCrashSimTOmegaShrinks: the candidate set can only shrink over
+// time, the monotonicity CrashSim-T's partial computation exploits.
+func TestCrashSimTOmegaShrinks(t *testing.T) {
+	tg := churnGraph(t, 40, 120, 6, 0.05, 13)
+	p := Params{Iterations: 100, Seed: 15}
+	resAll, err := CrashSimT(tg, 2, thresholdQuery{0.0}, p, TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTight, err := CrashSimT(tg, 2, thresholdQuery{0.05}, p, TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resTight.Omega) > len(resAll.Omega) {
+		t.Errorf("tighter threshold yields bigger set: %d > %d", len(resTight.Omega), len(resAll.Omega))
+	}
+	for _, v := range resTight.Omega {
+		found := false
+		for _, w := range resAll.Omega {
+			if v == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("node %d in tight result but not in loose result", v)
+		}
+	}
+}
+
+// TestCrashSimTStaticHistory: with zero churn every transition has an
+// unchanged source tree and empty delta, so after the first snapshot
+// everything is reused and nothing is recomputed.
+func TestCrashSimTStaticHistory(t *testing.T) {
+	base, err := gen.ErdosRenyi(25, 60, true, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := make([]temporal.Delta, 4) // five identical snapshots
+	tg, err := temporal.New(25, true, base, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Iterations: 50, Seed: 19}
+	res, err := CrashSimT(tg, 0, thresholdQuery{0.0}, p, TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TreeStableSteps != 4 {
+		t.Errorf("TreeStableSteps = %d, want 4", res.Stats.TreeStableSteps)
+	}
+	if res.Stats.Evaluated != 25 {
+		t.Errorf("Evaluated = %d, want 25 (only the first snapshot)", res.Stats.Evaluated)
+	}
+	if res.Stats.ReusedDelta != 4*25 {
+		t.Errorf("ReusedDelta = %d, want 100", res.Stats.ReusedDelta)
+	}
+}
+
+func TestCrashSimTTrendFiltering(t *testing.T) {
+	// Construct a graph whose similarity to the source strictly drops
+	// for one node: start with v sharing an in-neighbor with u, then
+	// remove that shared structure.
+	//   snapshot 0: w -> u, w -> v  (u and v similar)
+	//   snapshot 1: w -> u, x -> v  (similarity destroyed)
+	tg, err := temporal.New(4, true,
+		[]graph.Edge{{X: 2, Y: 0}, {X: 2, Y: 1}},
+		[]temporal.Delta{{
+			Del: []graph.Edge{{X: 2, Y: 1}},
+			Add: []graph.Edge{{X: 3, Y: 1}},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Iterations: 400, Seed: 21}
+	// Increasing trend with tiny slack: node 1's similarity collapses
+	// from ~c to 0, so it must be filtered out.
+	res, err := CrashSimT(tg, 0, trendQuery{slack: 0.01}, p, TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Omega {
+		if v == 1 {
+			t.Errorf("node 1 survived an increasing-trend query despite dropping similarity; omega=%v", res.Omega)
+		}
+	}
+	// The source always survives (score pinned at 1).
+	if len(res.Omega) == 0 || res.Omega[0] != 0 {
+		t.Errorf("source missing from omega: %v", res.Omega)
+	}
+}

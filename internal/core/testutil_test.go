@@ -1,0 +1,8 @@
+package core
+
+import "crashsim/internal/rng"
+
+// newTestRand returns a deterministic generator for walk-level tests.
+func newTestRand(seed uint64) *rng.Source {
+	return rng.New(seed)
+}

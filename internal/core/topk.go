@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"crashsim/internal/graph"
+)
+
+// TopKResult is one ranked answer of a top-k query.
+type TopKResult struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// TopK answers the top-k single-source SimRank query: the k nodes most
+// similar to u (excluding u itself), with their estimated scores.
+//
+// It exploits CrashSim's partial-computation mode in two phases: a
+// coarse pass over all nodes with a reduced iteration budget shortlists
+// candidates whose coarse score could plausibly reach the top k, and a
+// full-budget pass refines only the shortlist. The shortlist keeps every
+// node within 2ε of the coarse k-th score, so a node is excluded only if
+// both its coarse and refined scores would have to err by more than ε —
+// the same per-node confidence Theorem 1 gives the plain estimator.
+func TopK(g *graph.Graph, u graph.NodeID, k int, p Params) ([]TopKResult, error) {
+	q := p.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: top-k needs k >= 1, got %d", k)
+	}
+	n := g.NumNodes()
+	nr := q.iterations(n)
+
+	// Phase 1: coarse scores with a fraction of the budget.
+	coarse := q
+	coarse.Iterations = nr / 8
+	if coarse.Iterations < 50 {
+		coarse.Iterations = minInt(50, nr)
+	}
+	scores, err := SingleSource(g, u, nil, coarse)
+	if err != nil {
+		return nil, err
+	}
+	ranked := rankScores(scores, u)
+	if len(ranked) == 0 {
+		return nil, nil
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+
+	// Phase 2: refine every candidate within 2ε of the coarse cut.
+	cut := ranked[k-1].Score - 2*q.Eps
+	var omega []graph.NodeID
+	for _, r := range ranked {
+		if r.Score >= cut {
+			omega = append(omega, r.Node)
+		}
+	}
+	refined := q
+	refined.Iterations = nr
+	rescored, err := SingleSource(g, u, omega, refined)
+	if err != nil {
+		return nil, err
+	}
+	final := rankScores(rescored, u)
+	if k > len(final) {
+		k = len(final)
+	}
+	return final[:k], nil
+}
+
+// SinglePair estimates sim(u, v) with CrashSim's partial mode.
+func SinglePair(g *graph.Graph, u, v graph.NodeID, p Params) (float64, error) {
+	s, err := SingleSource(g, u, []graph.NodeID{v}, p)
+	if err != nil {
+		return 0, err
+	}
+	return s[v], nil
+}
+
+func rankScores(s Scores, u graph.NodeID) []TopKResult {
+	out := make([]TopKResult, 0, len(s))
+	for v, score := range s {
+		if v == u {
+			continue
+		}
+		out = append(out, TopKResult{Node: v, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

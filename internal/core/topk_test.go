@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"crashsim/internal/exact"
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+func TestTopKAgainstExact(t *testing.T) {
+	edges, err := gen.ErdosRenyi(80, 240, true, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.BuildStatic(80, true, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := exact.PowerMethod(g, exact.PowerOptions{C: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	got, err := TopK(g, 0, k, Params{C: 0.6, Eps: 0.05, Delta: 0.01, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != k {
+		t.Fatalf("TopK returned %d results, want %d", len(got), k)
+	}
+	// Scores must be descending and near the truth.
+	for i, r := range got {
+		if i > 0 && r.Score > got[i-1].Score {
+			t.Errorf("results not sorted at %d", i)
+		}
+		if d := math.Abs(r.Score - gt.Sim(0, r.Node)); d > 0.08 {
+			t.Errorf("node %d score %.4f vs exact %.4f", r.Node, r.Score, gt.Sim(0, r.Node))
+		}
+	}
+	// The returned set must overlap the exact top-k heavily: every
+	// returned node must have exact score >= exact k-th score - 2·eps.
+	truth := gt.SingleSource(0)
+	exactSorted := append([]float64(nil), truth...)
+	exactSorted[0] = -1 // exclude the source's self-score
+	kth := kthLargest(exactSorted, k)
+	for _, r := range got {
+		if truth[r.Node] < kth-0.1 {
+			t.Errorf("node %d (exact %.4f) far below exact k-th score %.4f", r.Node, truth[r.Node], kth)
+		}
+	}
+}
+
+func kthLargest(xs []float64, k int) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 0; i < k; i++ {
+		max := i
+		for j := i + 1; j < len(s); j++ {
+			if s[j] > s[max] {
+				max = j
+			}
+		}
+		s[i], s[max] = s[max], s[i]
+	}
+	return s[k-1]
+}
+
+func TestTopKSmallGraph(t *testing.T) {
+	g := graph.PaperExample()
+	got, err := TopK(g, graph.PaperNode("A"), 3, Params{Iterations: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for _, r := range got {
+		if r.Node == graph.PaperNode("A") {
+			t.Error("source included in top-k")
+		}
+	}
+	// k larger than the graph truncates gracefully.
+	all, err := TopK(g, 0, 100, Params{Iterations: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 7 {
+		t.Errorf("oversized k returned %d results, want 7", len(all))
+	}
+}
+
+func TestTopKErrors(t *testing.T) {
+	g := graph.PaperExample()
+	if _, err := TopK(g, 0, 0, Params{Iterations: 10}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopK(g, 99, 1, Params{Iterations: 10}); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := TopK(g, 0, 1, Params{C: 5}); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestSinglePair(t *testing.T) {
+	g := graph.PaperExample()
+	gt, err := exact.PowerMethod(g, exact.PowerOptions{C: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := graph.PaperNode("A"), graph.PaperNode("D")
+	got, err := SinglePair(g, u, v, Params{C: 0.6, Iterations: 3000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(got - gt.Sim(u, v)); d > 0.05 {
+		t.Errorf("SinglePair = %.4f, exact %.4f", got, gt.Sim(u, v))
+	}
+	if self, err := SinglePair(g, u, u, Params{Iterations: 10}); err != nil || self != 1 {
+		t.Errorf("SinglePair(u,u) = %g, %v", self, err)
+	}
+}

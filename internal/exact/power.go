@@ -1,0 +1,227 @@
+// Package exact provides reference SimRank computations used as ground
+// truth throughout the repository: the Jeh–Widom Power Method (the
+// paper's ground truth, run with 55 iterations) and a Fogaras-style
+// pairwise Monte-Carlo estimator used to cross-check the other
+// estimators' meeting-probability interpretation.
+package exact
+
+import (
+	"fmt"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/par"
+	"crashsim/internal/rng"
+)
+
+// PowerOptions configures the Power Method.
+type PowerOptions struct {
+	// C is the SimRank decay factor in (0,1). Default 0.6, the paper's
+	// experimental setting.
+	C float64
+	// Iterations is the number of fixed-point iterations. Default 55,
+	// matching the paper's ground-truth setup; the absolute error after
+	// k iterations is at most C^(k+1).
+	Iterations int
+	// MaxNodes guards against accidentally requesting an all-pairs
+	// computation that cannot fit in memory (the method stores two n×n
+	// float64 matrices). Default 8192; set to -1 to disable the guard.
+	MaxNodes int
+	// Workers bounds the parallelism of the per-iteration matrix
+	// products. Results are bit-identical for any value (rows are
+	// computed independently). 0 or 1 is sequential.
+	Workers int
+}
+
+func (o *PowerOptions) setDefaults() {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 55
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 8192
+	}
+}
+
+// Validate checks option ranges.
+func (o PowerOptions) Validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("exact: decay factor c=%g outside (0,1)", o.C)
+	}
+	if o.Iterations < 1 {
+		return fmt.Errorf("exact: iterations must be >= 1, got %d", o.Iterations)
+	}
+	return nil
+}
+
+// Result holds the all-pairs SimRank matrix.
+type Result struct {
+	n int
+	s []float64 // row-major n×n
+}
+
+// Sim returns sim(u, v).
+func (r *Result) Sim(u, v graph.NodeID) float64 {
+	return r.s[int(u)*r.n+int(v)]
+}
+
+// SingleSource returns the row sim(u, ·) as a fresh slice of length n.
+func (r *Result) SingleSource(u graph.NodeID) []float64 {
+	return append([]float64(nil), r.s[int(u)*r.n:(int(u)+1)*r.n]...)
+}
+
+// NumNodes returns n.
+func (r *Result) NumNodes() int { return r.n }
+
+// PowerMethod computes all-pairs SimRank by the Jeh–Widom fixed-point
+// iteration S ← c·PᵀSP with the diagonal reset to 1 each round, where P
+// is the in-neighbor averaging operator. Each iteration costs O(n·m).
+func PowerMethod(g *graph.Graph, opt PowerOptions) (*Result, error) {
+	opt.setDefaults()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if opt.MaxNodes > 0 && n > opt.MaxNodes {
+		return nil, fmt.Errorf("exact: graph has %d nodes, above the all-pairs guard of %d (raise PowerOptions.MaxNodes)", n, opt.MaxNodes)
+	}
+	s := newIdentity(n)
+	tmp := make([]float64, n*n)
+	next := make([]float64, n*n)
+	for it := 0; it < opt.Iterations; it++ {
+		// tmp = S · P, i.e. tmp[x][v] = (1/|I(v)|) Σ_{y∈I(v)} S[x][y].
+		// Rows of tmp are independent, so the loop fans out by row.
+		par.ForEach(n, opt.Workers, func(x int) {
+			row := tmp[x*n : (x+1)*n]
+			src := s[x*n : (x+1)*n]
+			for v := 0; v < n; v++ {
+				in := g.In(graph.NodeID(v))
+				if len(in) == 0 {
+					row[v] = 0
+					continue
+				}
+				sum := 0.0
+				for _, y := range in {
+					sum += src[y]
+				}
+				row[v] = sum / float64(len(in))
+			}
+		})
+		// next = c · Pᵀ · tmp, i.e. next[u][v] = (c/|I(u)|) Σ_{x∈I(u)} tmp[x][v].
+		par.ForEach(n, opt.Workers, func(u int) {
+			row := next[u*n : (u+1)*n]
+			clear(row)
+			in := g.In(graph.NodeID(u))
+			if len(in) == 0 {
+				return
+			}
+			scale := opt.C / float64(len(in))
+			for _, x := range in {
+				src := tmp[int(x)*n : (int(x)+1)*n]
+				for v := 0; v < n; v++ {
+					row[v] += src[v] * scale
+				}
+			}
+		})
+		for v := 0; v < n; v++ {
+			next[v*n+v] = 1
+		}
+		s, next = next, s
+	}
+	return &Result{n: n, s: s}, nil
+}
+
+func newIdentity(n int) []float64 {
+	s := make([]float64, n*n)
+	for v := 0; v < n; v++ {
+		s[v*n+v] = 1
+	}
+	return s
+}
+
+// PairMCOptions configures the pairwise Monte-Carlo estimator.
+type PairMCOptions struct {
+	C        float64 // decay factor, default 0.6
+	Trials   int     // number of coupled walk pairs, default 10000
+	MaxSteps int     // cap on synchronized steps, default 256
+	Seed     uint64
+}
+
+func (o *PairMCOptions) setDefaults() {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.Trials == 0 {
+		o.Trials = 10000
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 256
+	}
+}
+
+// MCSingleSource estimates sim(u, ·) with the classic Fogaras method:
+// an independent coupled-walk estimate per candidate. It is the
+// simplest correct single-source Monte-Carlo method and, at O(n·trials)
+// walk pairs, the benchmark floor the indexed and tree-based methods
+// are measured against. Each candidate uses its own random stream, so
+// results are deterministic and independent of evaluation order.
+func MCSingleSource(g *graph.Graph, u graph.NodeID, opt PairMCOptions) (map[graph.NodeID]float64, error) {
+	opt.setDefaults()
+	n := g.NumNodes()
+	if u < 0 || int(u) >= n {
+		return nil, fmt.Errorf("exact: source %d out of range for n=%d", u, n)
+	}
+	scores := make(map[graph.NodeID]float64, n)
+	for v := 0; v < n; v++ {
+		po := opt
+		po.Seed = rng.Split(opt.Seed, uint64(v)).Uint64()
+		s, err := PairMC(g, u, graph.NodeID(v), po)
+		if err != nil {
+			return nil, err
+		}
+		if s != 0 {
+			scores[graph.NodeID(v)] = s
+		}
+	}
+	scores[u] = 1
+	return scores, nil
+}
+
+// PairMC estimates sim(u, v) as E[c^τ], where τ is the first-meeting time
+// of two reverse random walks from u and v stepping synchronously (the
+// Fogaras interpretation, equivalent to the √c-walk meeting probability
+// used by SLING/ProbeSim/CrashSim).
+func PairMC(g *graph.Graph, u, v graph.NodeID, opt PairMCOptions) (float64, error) {
+	opt.setDefaults()
+	if opt.C <= 0 || opt.C >= 1 {
+		return 0, fmt.Errorf("exact: decay factor c=%g outside (0,1)", opt.C)
+	}
+	n := graph.NodeID(g.NumNodes())
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return 0, fmt.Errorf("exact: nodes (%d,%d) out of range for n=%d", u, v, n)
+	}
+	if u == v {
+		return 1, nil
+	}
+	r := rng.New(opt.Seed)
+	sum := 0.0
+	for trial := 0; trial < opt.Trials; trial++ {
+		a, b := u, v
+		weight := 1.0
+		for step := 1; step <= opt.MaxSteps; step++ {
+			ia, ib := g.In(a), g.In(b)
+			if len(ia) == 0 || len(ib) == 0 {
+				break
+			}
+			a = ia[r.IntN(len(ia))]
+			b = ib[r.IntN(len(ib))]
+			weight *= opt.C
+			if a == b {
+				sum += weight
+				break
+			}
+		}
+	}
+	return sum / float64(opt.Trials), nil
+}

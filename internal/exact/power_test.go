@@ -1,0 +1,253 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+func TestPowerMethodIdentityDiagonal(t *testing.T) {
+	g := graph.PaperExample()
+	r, err := PowerMethod(g, PowerOptions{C: 0.6, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if r.Sim(v, v) != 1 {
+			t.Errorf("sim(%d,%d) = %g, want 1", v, v, r.Sim(v, v))
+		}
+	}
+}
+
+// TestPowerMethodFixedPoint verifies that the returned matrix satisfies
+// the SimRank recurrence within the iteration tolerance c^(k+1).
+func TestPowerMethodFixedPoint(t *testing.T) {
+	g := graph.PaperExample()
+	c := 0.6
+	iters := 40
+	r, err := PowerMethod(g, PowerOptions{C: c, Iterations: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := math.Pow(c, float64(iters)) * 10
+	n := graph.NodeID(g.NumNodes())
+	for u := graph.NodeID(0); u < n; u++ {
+		for v := graph.NodeID(0); v < n; v++ {
+			if u == v {
+				continue
+			}
+			iu, iv := g.In(u), g.In(v)
+			want := 0.0
+			if len(iu) > 0 && len(iv) > 0 {
+				sum := 0.0
+				for _, x := range iu {
+					for _, y := range iv {
+						sum += r.Sim(x, y)
+					}
+				}
+				want = c * sum / float64(len(iu)*len(iv))
+			}
+			if math.Abs(r.Sim(u, v)-want) > tol {
+				t.Errorf("recurrence violated at (%d,%d): have %.8f, recurrence gives %.8f",
+					u, v, r.Sim(u, v), want)
+			}
+		}
+	}
+}
+
+// TestPowerMethodProperties property-checks symmetry and range on random
+// graphs: SimRank is symmetric and lies in [0, 1].
+func TestPowerMethodProperties(t *testing.T) {
+	f := func(seed uint64, directed bool) bool {
+		edges, err := gen.ErdosRenyi(25, 50, directed, seed)
+		if err != nil {
+			return false
+		}
+		g, err := gen.BuildStatic(25, directed, edges)
+		if err != nil {
+			return false
+		}
+		r, err := PowerMethod(g, PowerOptions{C: 0.6, Iterations: 25})
+		if err != nil {
+			return false
+		}
+		n := graph.NodeID(g.NumNodes())
+		for u := graph.NodeID(0); u < n; u++ {
+			for v := u; v < n; v++ {
+				s := r.Sim(u, v)
+				if s < 0 || s > 1+1e-12 {
+					return false
+				}
+				if math.Abs(s-r.Sim(v, u)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerMethodDanglingNodes(t *testing.T) {
+	// 0 and 1 both point at 2; 0 and 1 have no in-neighbors, so their
+	// SimRank with anything (but themselves) is 0, while sim(2,2) = 1.
+	g := graph.NewBuilder(3, true).AddEdge(0, 2).AddEdge(1, 2).MustFreeze()
+	r, err := PowerMethod(g, PowerOptions{C: 0.6, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Sim(0, 1); got != 0 {
+		t.Errorf("sim(0,1) = %g, want 0 for dangling nodes", got)
+	}
+	if got := r.Sim(0, 2); got != 0 {
+		t.Errorf("sim(0,2) = %g, want 0", got)
+	}
+}
+
+func TestPowerMethodConvergence(t *testing.T) {
+	g := graph.PaperExample()
+	a, err := PowerMethod(g, PowerOptions{C: 0.6, Iterations: 54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerMethod(g, PowerOptions{C: 0.6, Iterations: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := graph.NodeID(g.NumNodes())
+	for u := graph.NodeID(0); u < n; u++ {
+		for v := graph.NodeID(0); v < n; v++ {
+			if math.Abs(a.Sim(u, v)-b.Sim(u, v)) > 1e-5 {
+				t.Errorf("iterations 54 vs 55 differ by more than 1e-5 at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+// TestPowerMethodParallelDeterminism: the row-parallel products must be
+// bit-identical to the sequential run.
+func TestPowerMethodParallelDeterminism(t *testing.T) {
+	edges, err := gen.ErdosRenyi(80, 240, true, 111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.BuildStatic(80, true, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := PowerMethod(g, PowerOptions{C: 0.6, Iterations: 20, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := PowerMethod(g, PowerOptions{C: 0.6, Iterations: 20, Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if seq.Sim(u, v) != parallel.Sim(u, v) {
+				t.Fatalf("worker count changed result at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestPowerMethodGuards(t *testing.T) {
+	g := graph.PaperExample()
+	if _, err := PowerMethod(g, PowerOptions{C: 1.5}); err == nil {
+		t.Error("bad decay factor accepted")
+	}
+	if _, err := PowerMethod(g, PowerOptions{Iterations: -1}); err == nil {
+		t.Error("negative iterations accepted")
+	}
+	if _, err := PowerMethod(g, PowerOptions{MaxNodes: 4}); err == nil {
+		t.Error("MaxNodes guard did not trigger")
+	}
+	if _, err := PowerMethod(g, PowerOptions{MaxNodes: -1}); err != nil {
+		t.Errorf("MaxNodes=-1 should disable the guard: %v", err)
+	}
+}
+
+func TestSingleSourceView(t *testing.T) {
+	g := graph.PaperExample()
+	r, err := PowerMethod(g, PowerOptions{C: 0.6, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.SingleSource(2)
+	if len(row) != g.NumNodes() {
+		t.Fatalf("row length %d, want %d", len(row), g.NumNodes())
+	}
+	for v := range row {
+		if row[v] != r.Sim(2, graph.NodeID(v)) {
+			t.Errorf("row[%d] = %g != Sim = %g", v, row[v], r.Sim(2, graph.NodeID(v)))
+		}
+	}
+	row[0] = 42 // must not alias internal storage
+	if r.Sim(2, 0) == 42 {
+		t.Error("SingleSource aliases internal storage")
+	}
+}
+
+// TestPairMCAgainstPowerMethod cross-checks the coupled-walk E[c^τ]
+// estimator against the fixed-point ground truth.
+func TestPairMCAgainstPowerMethod(t *testing.T) {
+	g := graph.PaperExample()
+	gt, err := PowerMethod(g, PowerOptions{C: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]string{{"A", "B"}, {"A", "C"}, {"B", "D"}, {"F", "G"}, {"A", "H"}}
+	for _, p := range pairs {
+		u, v := graph.PaperNode(p[0]), graph.PaperNode(p[1])
+		got, err := PairMC(g, u, v, PairMCOptions{C: 0.6, Trials: 40000, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := gt.Sim(u, v)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("PairMC(%s,%s) = %.4f, power method %.4f", p[0], p[1], got, want)
+		}
+	}
+}
+
+func TestMCSingleSource(t *testing.T) {
+	g := graph.PaperExample()
+	gt, err := PowerMethod(g, PowerOptions{C: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := MCSingleSource(g, 0, PairMCOptions{C: 0.6, Trials: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 1 {
+		t.Errorf("self score = %g", s[0])
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if d := math.Abs(s[v] - gt.Sim(0, v)); d > 0.03 {
+			t.Errorf("node %d off by %.4f", v, d)
+		}
+	}
+	if _, err := MCSingleSource(g, 99, PairMCOptions{}); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestPairMCIdentityAndErrors(t *testing.T) {
+	g := graph.PaperExample()
+	if got, err := PairMC(g, 3, 3, PairMCOptions{}); err != nil || got != 1 {
+		t.Errorf("PairMC(v,v) = %g, %v; want 1, nil", got, err)
+	}
+	if _, err := PairMC(g, 0, 99, PairMCOptions{}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := PairMC(g, 0, 1, PairMCOptions{C: 2}); err == nil {
+		t.Error("bad decay factor accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package exact
+
+import (
+	"fmt"
+
+	"crashsim/internal/graph"
+)
+
+// SinglePairOptions configures the exact single-pair computation.
+type SinglePairOptions struct {
+	// C is the decay factor in (0,1). Default 0.6.
+	C float64
+	// Iterations bounds the fixed-point depth; the absolute error is at
+	// most C^(Iterations+1). Default 55.
+	Iterations int
+	// MaxPairs guards against product-graph blowup: the computation
+	// tracks one value per reachable node pair and aborts beyond the
+	// limit (use PowerMethod instead). Default 4_000_000.
+	MaxPairs int
+}
+
+func (o *SinglePairOptions) setDefaults() {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 55
+	}
+	if o.MaxPairs == 0 {
+		o.MaxPairs = 4_000_000
+	}
+}
+
+// pairKey packs an ordered node pair (a <= b) into one map key.
+func pairKey(a, b graph.NodeID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// SinglePair computes sim(u, v) exactly (within C^(Iterations+1))
+// without materializing the full n×n matrix: it iterates the SimRank
+// recurrence over only the node pairs reachable from (u, v) by
+// simultaneous reverse steps — the product-graph neighborhood — which is
+// far smaller than n² on sparse graphs. Memory is O(reachable pairs).
+func SinglePair(g *graph.Graph, u, v graph.NodeID, opt SinglePairOptions) (float64, error) {
+	opt.setDefaults()
+	if opt.C <= 0 || opt.C >= 1 {
+		return 0, fmt.Errorf("exact: decay factor c=%g outside (0,1)", opt.C)
+	}
+	if opt.Iterations < 1 {
+		return 0, fmt.Errorf("exact: iterations must be >= 1, got %d", opt.Iterations)
+	}
+	n := graph.NodeID(g.NumNodes())
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return 0, fmt.Errorf("exact: nodes (%d,%d) out of range for n=%d", u, v, n)
+	}
+	if u == v {
+		return 1, nil
+	}
+
+	// Discover the reachable pair set with a BFS over simultaneous
+	// reverse steps, bounded by the iteration depth (pairs farther than
+	// Iterations steps cannot influence the truncated fixed point).
+	type pair struct{ a, b graph.NodeID }
+	depthOf := map[uint64]int{pairKey(u, v): 0}
+	pairs := []pair{{u, v}}
+	frontier := []pair{{u, v}}
+	for depth := 1; depth <= opt.Iterations && len(frontier) > 0; depth++ {
+		var next []pair
+		for _, p := range frontier {
+			for _, x := range g.In(p.a) {
+				for _, y := range g.In(p.b) {
+					if x == y {
+						continue // diagonal pairs are constant 1
+					}
+					k := pairKey(x, y)
+					if _, seen := depthOf[k]; seen {
+						continue
+					}
+					depthOf[k] = depth
+					pairs = append(pairs, pair{x, y})
+					next = append(next, pair{x, y})
+					if len(pairs) > opt.MaxPairs {
+						return 0, fmt.Errorf("exact: pair neighborhood exceeds %d pairs; use PowerMethod", opt.MaxPairs)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Iterate the recurrence over the discovered pairs.
+	cur := make(map[uint64]float64, len(pairs))
+	next := make(map[uint64]float64, len(pairs))
+	for it := 0; it < opt.Iterations; it++ {
+		for _, p := range pairs {
+			ia, ib := g.In(p.a), g.In(p.b)
+			if len(ia) == 0 || len(ib) == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, x := range ia {
+				for _, y := range ib {
+					if x == y {
+						sum += 1
+					} else {
+						sum += cur[pairKey(x, y)]
+					}
+				}
+			}
+			next[pairKey(p.a, p.b)] = opt.C * sum / float64(len(ia)*len(ib))
+		}
+		cur, next = next, cur
+	}
+	return cur[pairKey(u, v)], nil
+}

@@ -1,0 +1,71 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+// TestSinglePairMatchesPowerMethod: the product-graph iteration must
+// agree with the all-pairs matrix on every pair of the example graph and
+// of a random graph.
+func TestSinglePairMatchesPowerMethod(t *testing.T) {
+	graphs := []*graph.Graph{graph.PaperExample()}
+	edges, err := gen.ErdosRenyi(30, 70, true, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := gen.BuildStatic(30, true, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, rg)
+
+	for gi, g := range graphs {
+		gt, err := PowerMethod(g, PowerOptions{C: 0.6, Iterations: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := graph.NodeID(g.NumNodes())
+		for u := graph.NodeID(0); u < n; u += 3 {
+			for v := u; v < n; v += 5 {
+				got, err := SinglePair(g, u, v, SinglePairOptions{C: 0.6, Iterations: 30})
+				if err != nil {
+					t.Fatalf("graph %d pair (%d,%d): %v", gi, u, v, err)
+				}
+				if d := math.Abs(got - gt.Sim(u, v)); d > 1e-9 {
+					t.Errorf("graph %d pair (%d,%d): single-pair %.9f vs matrix %.9f", gi, u, v, got, gt.Sim(u, v))
+				}
+			}
+		}
+	}
+}
+
+func TestSinglePairGuards(t *testing.T) {
+	g := graph.PaperExample()
+	if got, err := SinglePair(g, 3, 3, SinglePairOptions{}); err != nil || got != 1 {
+		t.Errorf("identity pair: %g, %v", got, err)
+	}
+	if _, err := SinglePair(g, 0, 99, SinglePairOptions{}); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if _, err := SinglePair(g, 0, 1, SinglePairOptions{C: 2}); err == nil {
+		t.Error("bad c accepted")
+	}
+	if _, err := SinglePair(g, 0, 1, SinglePairOptions{Iterations: -1}); err == nil {
+		t.Error("bad iterations accepted")
+	}
+	if _, err := SinglePair(g, 0, 1, SinglePairOptions{MaxPairs: 1}); err == nil {
+		t.Error("MaxPairs guard did not trigger")
+	}
+}
+
+func TestSinglePairDanglingNodes(t *testing.T) {
+	g := graph.NewBuilder(3, true).AddEdge(0, 2).AddEdge(1, 2).MustFreeze()
+	got, err := SinglePair(g, 0, 1, SinglePairOptions{})
+	if err != nil || got != 0 {
+		t.Errorf("dangling pair: %g, %v (want 0)", got, err)
+	}
+}

@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"fmt"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/rng"
+	"crashsim/internal/temporal"
+)
+
+// BipartiteOptions configures the user–item purchase-graph generator
+// behind the paper's Example 1 (product recommendation): users belong
+// to taste groups that buy from group-specific item pools, interests
+// drift over time, and a fraction of users change groups mid-history —
+// the "momentarily similar" users a temporal query must filter out.
+type BipartiteOptions struct {
+	// Users and Items size the two sides; users occupy ids [0, Users)
+	// and items [Users, Users+Items).
+	Users, Items int
+	// Groups is the number of taste groups. Default 4.
+	Groups int
+	// PurchasesPerUser is the number of live purchases per user per
+	// snapshot. Default 5.
+	PurchasesPerUser int
+	// Snapshots is the history length. Default 8.
+	Snapshots int
+	// DriftRate is the per-snapshot probability that a user replaces
+	// one purchase. 0 means purchases never drift (0 is meaningful, so
+	// no default is applied).
+	DriftRate float64
+	// SwitchRate is the per-snapshot probability that a user changes
+	// taste groups entirely. 0 means groups are permanent.
+	SwitchRate float64
+	Seed       uint64
+}
+
+func (o BipartiteOptions) withDefaults() BipartiteOptions {
+	if o.Groups == 0 {
+		o.Groups = 4
+	}
+	if o.PurchasesPerUser == 0 {
+		o.PurchasesPerUser = 5
+	}
+	if o.Snapshots == 0 {
+		o.Snapshots = 8
+	}
+	return o
+}
+
+// Validate checks option ranges after defaulting.
+func (o BipartiteOptions) Validate() error {
+	q := o.withDefaults()
+	if q.Users < 2 || q.Items < 2 {
+		return fmt.Errorf("gen: bipartite needs >= 2 users and items (got %d, %d)", q.Users, q.Items)
+	}
+	if q.Groups < 1 || q.Groups > q.Items {
+		return fmt.Errorf("gen: groups %d outside [1, items]", q.Groups)
+	}
+	if q.PurchasesPerUser < 1 || q.PurchasesPerUser > q.Items/q.Groups {
+		return fmt.Errorf("gen: purchases per user %d outside [1, items/groups=%d]", q.PurchasesPerUser, q.Items/q.Groups)
+	}
+	if q.Snapshots < 1 {
+		return fmt.Errorf("gen: need >= 1 snapshot")
+	}
+	if q.DriftRate < 0 || q.DriftRate > 1 || q.SwitchRate < 0 || q.SwitchRate > 1 {
+		return fmt.Errorf("gen: rates outside [0,1]")
+	}
+	return nil
+}
+
+// ItemNode maps item index i to its node id under these options.
+func (o BipartiteOptions) ItemNode(i int) graph.NodeID {
+	return graph.NodeID(o.Users + i)
+}
+
+// Bipartite generates the temporal purchase graph (undirected user–item
+// edges) plus each user's taste group per snapshot, which tests and
+// demos use as ground truth for "who is genuinely similar".
+func Bipartite(o BipartiteOptions) (*temporal.Graph, [][]int, error) {
+	q := o.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	r := rng.New(q.Seed)
+	poolSize := q.Items / q.Groups
+	groupItem := func(group, j int) graph.NodeID {
+		return q.ItemNode(group*poolSize + j%poolSize)
+	}
+
+	groups := make([]int, q.Users)
+	for u := range groups {
+		groups[u] = u % q.Groups
+	}
+	// Current purchases per user, as item node ids.
+	purchases := make([][]graph.NodeID, q.Users)
+	for u := range purchases {
+		seen := map[graph.NodeID]bool{}
+		for len(purchases[u]) < q.PurchasesPerUser {
+			it := groupItem(groups[u], r.IntN(poolSize))
+			if !seen[it] {
+				seen[it] = true
+				purchases[u] = append(purchases[u], it)
+			}
+		}
+	}
+
+	snaps := make([][]graph.Edge, q.Snapshots)
+	groupHistory := make([][]int, q.Snapshots)
+	for t := 0; t < q.Snapshots; t++ {
+		if t > 0 {
+			for u := range purchases {
+				if r.Float64() < q.SwitchRate {
+					groups[u] = (groups[u] + 1 + r.IntN(q.Groups-1)) % q.Groups
+					purchases[u] = resample(q, groups[u], groupItem, r)
+				} else if r.Float64() < q.DriftRate {
+					// Replace one purchase within the group pool.
+					idx := r.IntN(len(purchases[u]))
+					for tries := 0; tries < 20; tries++ {
+						it := groupItem(groups[u], r.IntN(poolSize))
+						if !contains(purchases[u], it) {
+							purchases[u][idx] = it
+							break
+						}
+					}
+				}
+			}
+		}
+		groupHistory[t] = append([]int(nil), groups...)
+		for u, items := range purchases {
+			for _, it := range items {
+				snaps[t] = append(snaps[t], graph.Edge{X: graph.NodeID(u), Y: it})
+			}
+		}
+	}
+	tg, err := temporal.FromSnapshots(q.Users+q.Items, false, snaps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tg, groupHistory, nil
+}
+
+func resample(q BipartiteOptions, group int, groupItem func(int, int) graph.NodeID, r *rng.Source) []graph.NodeID {
+	poolSize := q.Items / q.Groups
+	seen := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for len(out) < q.PurchasesPerUser {
+		it := groupItem(group, r.IntN(poolSize))
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func contains(s []graph.NodeID, v graph.NodeID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

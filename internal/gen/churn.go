@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"fmt"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/rng"
+	"crashsim/internal/temporal"
+)
+
+// ChurnOptions controls the temporal evolution process. Starting from a
+// base edge set, each snapshot transition deletes DelRate·m random edges
+// and inserts AddRate·m fresh ones (m = current edge count), so the graph
+// size stays roughly stable while the edge identity drifts — the change
+// pattern of the AS topologies the paper uses.
+type ChurnOptions struct {
+	Snapshots int     // total number of snapshots T (>= 1)
+	AddRate   float64 // fraction of edges inserted per transition
+	DelRate   float64 // fraction of edges deleted per transition
+	// ActiveFraction is the probability that a transition carries any
+	// change at all; the rest are quiet (empty deltas), matching the
+	// bursty evolution of real snapshot datasets like AS-733, where many
+	// consecutive daily snapshots are identical. 0 defaults to 1 (every
+	// transition churns).
+	ActiveFraction float64
+	Seed           uint64
+}
+
+// Validate checks the options.
+func (o ChurnOptions) Validate() error {
+	if o.Snapshots < 1 {
+		return fmt.Errorf("gen: churn needs at least 1 snapshot, got %d", o.Snapshots)
+	}
+	if o.AddRate < 0 || o.DelRate < 0 || o.AddRate > 1 || o.DelRate > 1 {
+		return fmt.Errorf("gen: churn rates must be in [0,1] (add=%g, del=%g)", o.AddRate, o.DelRate)
+	}
+	if o.ActiveFraction < 0 || o.ActiveFraction > 1 {
+		return fmt.Errorf("gen: active fraction %g outside [0,1]", o.ActiveFraction)
+	}
+	return nil
+}
+
+// Churn evolves the base edge set over o.Snapshots instants and returns
+// the resulting temporal graph.
+func Churn(n int, directed bool, base []graph.Edge, o ChurnOptions) (*temporal.Graph, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(o.Seed)
+	set := newEdgeSet(directed, len(base))
+	for _, e := range base {
+		if !set.Add(e) {
+			return nil, fmt.Errorf("gen: duplicate base edge (%d,%d)", e.X, e.Y)
+		}
+	}
+	active := o.ActiveFraction
+	if active == 0 {
+		active = 1
+	}
+	deltas := make([]temporal.Delta, 0, o.Snapshots-1)
+	for t := 1; t < o.Snapshots; t++ {
+		var d temporal.Delta
+		if r.Float64() >= active {
+			deltas = append(deltas, d) // quiet transition
+			continue
+		}
+		m := set.Len()
+		nDel := int(o.DelRate * float64(m))
+		nAdd := int(o.AddRate * float64(m))
+		for i := 0; i < nDel && set.Len() > 0; i++ {
+			e := set.SampleIndex(r)
+			set.Remove(e)
+			d.Del = append(d.Del, e)
+		}
+		for i := 0; i < nAdd; i++ {
+			e, ok := sampleMissing(n, set, r)
+			if !ok {
+				break
+			}
+			set.Add(e)
+			d.Add = append(d.Add, e)
+		}
+		deltas = append(deltas, d)
+	}
+	return temporal.New(n, directed, base, deltas)
+}
+
+// sampleMissing draws a uniform non-existing, non-loop edge by rejection.
+func sampleMissing(n int, set *edgeSet, r *rng.Source) (graph.Edge, bool) {
+	for attempts := 0; attempts < 1000; attempts++ {
+		x := graph.NodeID(r.IntN(n))
+		y := graph.NodeID(r.IntN(n))
+		if x == y {
+			continue
+		}
+		e := graph.Edge{X: x, Y: y}
+		if !set.Has(e) {
+			return set.canon(e), true
+		}
+	}
+	return graph.Edge{}, false
+}

@@ -1,0 +1,230 @@
+// Package gen provides synthetic graph and temporal-workload generators.
+//
+// The paper evaluates on five SNAP datasets (Table III) that are not
+// available offline, so gen supplies the closest synthetic equivalents:
+// random-graph models matching each dataset's type, size and degree skew,
+// plus a temporal churn process that evolves a base graph through the
+// small per-snapshot edge changes CrashSim-T's pruning exploits. All
+// generators are deterministic for a given seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/rng"
+)
+
+// ErdosRenyi samples a uniform random simple graph with exactly m edges
+// (directed arcs, or undirected edges) over n nodes.
+func ErdosRenyi(n, m int, directed bool, seed uint64) ([]graph.Edge, error) {
+	maxEdges := n * (n - 1)
+	if !directed {
+		maxEdges /= 2
+	}
+	if m > maxEdges {
+		return nil, fmt.Errorf("gen: %d edges exceed maximum %d for n=%d", m, maxEdges, n)
+	}
+	r := rng.New(seed)
+	set := newEdgeSet(directed, m)
+	for set.Len() < m {
+		x := graph.NodeID(r.IntN(n))
+		y := graph.NodeID(r.IntN(n))
+		if x == y {
+			continue
+		}
+		set.Add(graph.Edge{X: x, Y: y})
+	}
+	return set.Slice(), nil
+}
+
+// PreferentialAttachment grows a Barabási–Albert style graph: nodes
+// arrive one at a time and attach k edges to existing nodes chosen
+// proportionally to degree (plus one, so isolated nodes remain
+// reachable). For directed graphs the new node points at the chosen
+// targets, giving the in-degree power law seen in citation networks.
+func PreferentialAttachment(n, k int, directed bool, seed uint64) ([]graph.Edge, error) {
+	if k < 1 || n < k+1 {
+		return nil, fmt.Errorf("gen: preferential attachment needs n > k >= 1 (n=%d, k=%d)", n, k)
+	}
+	r := rng.New(seed)
+	set := newEdgeSet(directed, n*k)
+	// repeated holds one entry per degree unit; sampling from it is
+	// sampling proportional to degree.
+	repeated := make([]graph.NodeID, 0, 2*n*k+n)
+	for v := 0; v <= k; v++ {
+		repeated = append(repeated, graph.NodeID(v))
+	}
+	// Seed clique over the first k+1 nodes.
+	for x := 0; x <= k; x++ {
+		for y := x + 1; y <= k; y++ {
+			set.Add(graph.Edge{X: graph.NodeID(x), Y: graph.NodeID(y)})
+		}
+	}
+	for v := k + 1; v < n; v++ {
+		src := graph.NodeID(v)
+		added := 0
+		for attempts := 0; added < k && attempts < 50*k; attempts++ {
+			tgt := repeated[r.IntN(len(repeated))]
+			if tgt == src {
+				continue
+			}
+			if set.Add(graph.Edge{X: src, Y: tgt}) {
+				repeated = append(repeated, tgt)
+				added++
+			}
+		}
+		repeated = append(repeated, src)
+	}
+	return set.Slice(), nil
+}
+
+// ChungLu samples a simple graph whose expected degree sequence follows a
+// power law with the given exponent, scaled so the expected edge count is
+// approximately m. It captures the heavy-tailed in-degree distributions
+// of the voting and AS topologies.
+func ChungLu(n, m int, exponent float64, directed bool, seed uint64) ([]graph.Edge, error) {
+	if exponent <= 1 {
+		return nil, fmt.Errorf("gen: power-law exponent must exceed 1, got %g", exponent)
+	}
+	r := rng.New(seed)
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		// w_i ∝ (i+1)^(-1/(exponent-1)) is the standard rank-based
+		// power-law weight assignment.
+		weights[i] = math.Pow(float64(i+1), -1/(exponent-1))
+		total += weights[i]
+	}
+	// Cumulative table for O(log n) weighted sampling.
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	sample := func() graph.NodeID {
+		x := r.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.NodeID(lo)
+	}
+	set := newEdgeSet(directed, m)
+	for attempts := 0; set.Len() < m && attempts < 100*m; attempts++ {
+		x, y := sample(), sample()
+		if x == y {
+			continue
+		}
+		set.Add(graph.Edge{X: x, Y: y})
+	}
+	if set.Len() < m {
+		return nil, fmt.Errorf("gen: Chung-Lu sampler could not place %d edges (placed %d)", m, set.Len())
+	}
+	return set.Slice(), nil
+}
+
+// SmallWorld builds a Watts–Strogatz ring lattice over n nodes with k
+// neighbors per side and rewiring probability beta. Always undirected.
+func SmallWorld(n, k int, beta float64, seed uint64) ([]graph.Edge, error) {
+	if k < 1 || 2*k >= n {
+		return nil, fmt.Errorf("gen: small world needs 1 <= k < n/2 (n=%d, k=%d)", n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: rewiring probability %g outside [0,1]", beta)
+	}
+	r := rng.New(seed)
+	set := newEdgeSet(false, n*k)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			set.Add(graph.Edge{X: graph.NodeID(v), Y: graph.NodeID((v + j) % n)})
+		}
+	}
+	edges := set.Slice()
+	for i, e := range edges {
+		if r.Float64() >= beta {
+			continue
+		}
+		for attempts := 0; attempts < 50; attempts++ {
+			y := graph.NodeID(r.IntN(n))
+			if y == e.X || set.Has(graph.Edge{X: e.X, Y: y}) {
+				continue
+			}
+			set.Remove(e)
+			set.Add(graph.Edge{X: e.X, Y: y})
+			edges[i] = graph.Edge{X: e.X, Y: y}
+			break
+		}
+	}
+	return set.Slice(), nil
+}
+
+// BuildStatic freezes an edge list into an immutable graph.
+func BuildStatic(n int, directed bool, edges []graph.Edge) (*graph.Graph, error) {
+	return graph.NewBuilder(n, directed).AddEdges(edges).Freeze()
+}
+
+// edgeSet is a deduplicating edge container with O(1) add, remove,
+// membership, and uniform sampling — the core of the churn process.
+type edgeSet struct {
+	directed bool
+	idx      map[graph.Edge]int
+	list     []graph.Edge
+}
+
+func newEdgeSet(directed bool, capacity int) *edgeSet {
+	return &edgeSet{directed: directed, idx: make(map[graph.Edge]int, capacity)}
+}
+
+func (s *edgeSet) canon(e graph.Edge) graph.Edge {
+	if !s.directed && e.X > e.Y {
+		e.X, e.Y = e.Y, e.X
+	}
+	return e
+}
+
+func (s *edgeSet) Len() int { return len(s.list) }
+
+func (s *edgeSet) Has(e graph.Edge) bool {
+	_, ok := s.idx[s.canon(e)]
+	return ok
+}
+
+func (s *edgeSet) Add(e graph.Edge) bool {
+	ce := s.canon(e)
+	if _, ok := s.idx[ce]; ok {
+		return false
+	}
+	s.idx[ce] = len(s.list)
+	s.list = append(s.list, ce)
+	return true
+}
+
+func (s *edgeSet) Remove(e graph.Edge) bool {
+	ce := s.canon(e)
+	i, ok := s.idx[ce]
+	if !ok {
+		return false
+	}
+	last := s.list[len(s.list)-1]
+	s.list[i] = last
+	s.idx[last] = i
+	s.list = s.list[:len(s.list)-1]
+	delete(s.idx, ce)
+	return true
+}
+
+func (s *edgeSet) SampleIndex(r *rng.Source) graph.Edge {
+	return s.list[r.IntN(len(s.list))]
+}
+
+func (s *edgeSet) Slice() []graph.Edge {
+	return append([]graph.Edge(nil), s.list...)
+}

@@ -1,0 +1,174 @@
+package graph
+
+import "fmt"
+
+// DiGraph is a mutable graph with O(deg) edge insertion and removal. It is
+// the working representation for temporal snapshots: a cursor applies edge
+// deltas to a DiGraph and freezes a CSR view when an algorithm needs one.
+//
+// The "Di" prefix refers to the internal arc storage: undirected graphs
+// are supported and store both arcs per edge, mirroring Graph.
+type DiGraph struct {
+	directed bool
+	in       [][]NodeID
+	out      [][]NodeID
+	arcs     int
+}
+
+// NewDiGraph returns an empty mutable graph with n nodes.
+func NewDiGraph(n int, directed bool) *DiGraph {
+	return &DiGraph{
+		directed: directed,
+		in:       make([][]NodeID, n),
+		out:      make([][]NodeID, n),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (d *DiGraph) NumNodes() int { return len(d.in) }
+
+// NumEdges returns the number of directed arcs (directed) or undirected
+// edges (undirected).
+func (d *DiGraph) NumEdges() int {
+	if d.directed {
+		return d.arcs
+	}
+	return d.arcs / 2
+}
+
+// Directed reports whether the graph is directed.
+func (d *DiGraph) Directed() bool { return d.directed }
+
+// In returns the in-neighbor list of v; the slice is shared and must not
+// be modified by the caller. Order is unspecified.
+func (d *DiGraph) In(v NodeID) []NodeID { return d.in[v] }
+
+// Out returns the out-neighbor list of v; same sharing caveat as In.
+func (d *DiGraph) Out(v NodeID) []NodeID { return d.out[v] }
+
+// InDegree returns |I(v)|.
+func (d *DiGraph) InDegree(v NodeID) int { return len(d.in[v]) }
+
+// OutDegree returns the out-degree of v.
+func (d *DiGraph) OutDegree(v NodeID) int { return len(d.out[v]) }
+
+// HasEdge reports whether arc x->y (undirected: edge {x,y}) exists.
+func (d *DiGraph) HasEdge(x, y NodeID) bool {
+	return contains(d.out[x], y)
+}
+
+// AddEdge inserts the edge x -> y (both arcs for undirected graphs). It
+// returns an error if the edge already exists, is a self-loop, or is out
+// of range, so temporal deltas that double-apply are caught early.
+func (d *DiGraph) AddEdge(x, y NodeID) error {
+	if err := d.check(x, y); err != nil {
+		return err
+	}
+	if d.HasEdge(x, y) {
+		return fmt.Errorf("graph: edge (%d,%d) already present", x, y)
+	}
+	d.addArc(x, y)
+	if !d.directed {
+		d.addArc(y, x)
+	}
+	return nil
+}
+
+// RemoveEdge deletes the edge x -> y (both arcs for undirected graphs).
+// It returns an error if the edge is absent.
+func (d *DiGraph) RemoveEdge(x, y NodeID) error {
+	if err := d.check(x, y); err != nil {
+		return err
+	}
+	if !d.HasEdge(x, y) {
+		return fmt.Errorf("graph: edge (%d,%d) not present", x, y)
+	}
+	d.removeArc(x, y)
+	if !d.directed {
+		d.removeArc(y, x)
+	}
+	return nil
+}
+
+func (d *DiGraph) check(x, y NodeID) error {
+	n := NodeID(len(d.in))
+	if x < 0 || x >= n || y < 0 || y >= n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", x, y, n)
+	}
+	if x == y {
+		return fmt.Errorf("graph: self-loop at node %d not allowed", x)
+	}
+	return nil
+}
+
+func (d *DiGraph) addArc(x, y NodeID) {
+	d.out[x] = append(d.out[x], y)
+	d.in[y] = append(d.in[y], x)
+	d.arcs++
+}
+
+func (d *DiGraph) removeArc(x, y NodeID) {
+	d.out[x] = swapRemove(d.out[x], y)
+	d.in[y] = swapRemove(d.in[y], x)
+	d.arcs--
+}
+
+// Clone returns a deep copy, used when an algorithm needs to keep the
+// previous snapshot while the cursor advances.
+func (d *DiGraph) Clone() *DiGraph {
+	c := &DiGraph{
+		directed: d.directed,
+		in:       make([][]NodeID, len(d.in)),
+		out:      make([][]NodeID, len(d.out)),
+		arcs:     d.arcs,
+	}
+	for v := range d.in {
+		c.in[v] = append([]NodeID(nil), d.in[v]...)
+		c.out[v] = append([]NodeID(nil), d.out[v]...)
+	}
+	return c
+}
+
+// Freeze produces an immutable CSR view of the current state.
+func (d *DiGraph) Freeze() *Graph {
+	arcs := make([]Edge, 0, d.arcs)
+	for x := NodeID(0); int(x) < len(d.out); x++ {
+		for _, y := range d.out[x] {
+			arcs = append(arcs, Edge{X: x, Y: y})
+		}
+	}
+	return fromArcs(len(d.in), d.directed, arcs)
+}
+
+// Edges returns the edge set: each directed arc once, or each undirected
+// edge once with X <= Y. Order is unspecified.
+func (d *DiGraph) Edges() []Edge {
+	out := make([]Edge, 0, d.NumEdges())
+	for x := NodeID(0); int(x) < len(d.out); x++ {
+		for _, y := range d.out[x] {
+			if d.directed || x <= y {
+				out = append(out, Edge{X: x, Y: y})
+			}
+		}
+	}
+	return out
+}
+
+func contains(s []NodeID, v NodeID) bool {
+	for _, u := range s {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+func swapRemove(s []NodeID, v NodeID) []NodeID {
+	for i, u := range s {
+		if u == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}

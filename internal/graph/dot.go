@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits g in Graphviz DOT format for visual inspection of
+// small graphs (the running example, test fixtures, cluster output).
+// Nodes may be given labels via the optional label function; nil uses
+// the numeric id.
+func WriteDOT(w io.Writer, g *Graph, label func(NodeID) string) error {
+	bw := bufio.NewWriter(w)
+	kind, arrow := "digraph", "->"
+	if !g.Directed() {
+		kind, arrow = "graph", "--"
+	}
+	fmt.Fprintf(bw, "%s crashsim {\n", kind)
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		name := fmt.Sprintf("%d", v)
+		if label != nil {
+			name = label(v)
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q];\n", v, name)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  n%d %s n%d;\n", e.X, arrow, e.Y)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

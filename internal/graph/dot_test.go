@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTDirected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, PaperExample(), func(v NodeID) string { return PaperLabel(v) }); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph crashsim {") {
+		t.Errorf("missing digraph header:\n%s", out)
+	}
+	for _, want := range []string{`[label="A"]`, `[label="H"]`, "n1 -> n0;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in DOT output", want)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("missing closing brace")
+	}
+}
+
+func TestWriteDOTUndirected(t *testing.T) {
+	g := NewBuilder(3, false).AddEdge(0, 1).MustFreeze()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph crashsim {") {
+		t.Errorf("undirected header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "n0 -- n1;") {
+		t.Errorf("undirected edge syntax wrong:\n%s", out)
+	}
+	if strings.Contains(out, "->") {
+		t.Error("undirected output contains directed arrows")
+	}
+}

@@ -1,0 +1,47 @@
+package graph
+
+// PaperExample returns the 8-node directed graph used as the running
+// example in the CrashSim paper (Fig. 2). The figure itself is not fully
+// recoverable from the text, so this reconstruction satisfies every
+// constraint Example 2 states:
+//
+//	I(A) = {B, C}            (level-1 tree entries)
+//	I(B) = {A, E}, |I(B)| = 2
+//	I(C) = {A, B, D}, |I(C)| = 3
+//	I(D) = {B, C}, |I(D)| = 2
+//	I(E) = {H, B}, |I(E)| = 2
+//	I(H) = {F, G}, |I(H)| = 2
+//	walk (C, D, B, A) is feasible: D ∈ I(C), B ∈ I(D), A ∈ I(B)
+//
+// F and G are unconstrained by the text; they form a 2-cycle feeding H so
+// that every node has at least one in-neighbor.
+func PaperExample() *Graph {
+	b := NewBuilder(8, true)
+	A, B, C, D, E, F, G, H := PaperNode("A"), PaperNode("B"), PaperNode("C"),
+		PaperNode("D"), PaperNode("E"), PaperNode("F"), PaperNode("G"), PaperNode("H")
+	b.AddEdge(B, A).AddEdge(C, A)
+	b.AddEdge(A, B).AddEdge(E, B)
+	b.AddEdge(A, C).AddEdge(B, C).AddEdge(D, C)
+	b.AddEdge(B, D).AddEdge(C, D)
+	b.AddEdge(H, E).AddEdge(B, E)
+	b.AddEdge(G, F)
+	b.AddEdge(F, G)
+	b.AddEdge(F, H).AddEdge(G, H)
+	return b.MustFreeze()
+}
+
+// PaperNode maps the paper's node labels "A".."H" to NodeIDs 0..7.
+func PaperNode(label string) NodeID {
+	if len(label) != 1 || label[0] < 'A' || label[0] > 'H' {
+		panic("graph: PaperNode label must be A..H")
+	}
+	return NodeID(label[0] - 'A')
+}
+
+// PaperLabel is the inverse of PaperNode for small example output.
+func PaperLabel(v NodeID) string {
+	if v < 0 || v > 7 {
+		panic("graph: PaperLabel node must be 0..7")
+	}
+	return string(rune('A' + v))
+}

@@ -1,0 +1,248 @@
+// Package graph provides the graph substrate shared by every SimRank
+// algorithm in this module: an immutable compressed-sparse-row (CSR)
+// representation optimized for the read-heavy random-walk workloads, a
+// mutable adjacency-list representation for graphs that evolve over time,
+// and edge-list I/O.
+//
+// SimRank is defined over in-neighbors, so both representations index the
+// in-adjacency as the primary direction; out-adjacency is kept as well
+// because ProbeSim's probes and CrashSim-T's affected-area computation
+// traverse forward edges.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Nodes are dense integers in [0, n).
+type NodeID = int32
+
+// Edge is a directed edge x -> y. For undirected graphs an Edge denotes
+// the undirected pair {X, Y} and both arcs are materialized internally.
+type Edge struct {
+	X, Y NodeID
+}
+
+// Graph is an immutable directed graph in CSR form. Build one with
+// NewBuilder or DiGraph.Freeze. The zero value is an empty graph.
+type Graph struct {
+	n        int
+	directed bool
+
+	inOff  []int32  // len n+1; in-adjacency offsets
+	inAdj  []NodeID // concatenated in-neighbor lists, sorted per node
+	outOff []int32
+	outAdj []NodeID
+}
+
+// NumNodes returns the number of nodes n.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of directed arcs for directed graphs, or the
+// number of undirected edges for undirected graphs.
+func (g *Graph) NumEdges() int {
+	if g.directed {
+		return len(g.inAdj)
+	}
+	return len(g.inAdj) / 2
+}
+
+// Directed reports whether the graph was built as directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// In returns the in-neighbor list of v. The returned slice is shared with
+// the graph and must not be modified.
+func (g *Graph) In(v NodeID) []NodeID {
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
+
+// Out returns the out-neighbor list of v. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Out(v NodeID) []NodeID {
+	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InDegree returns |I(v)|.
+func (g *Graph) InDegree(v NodeID) int {
+	return int(g.inOff[v+1] - g.inOff[v])
+}
+
+// OutDegree returns the number of out-neighbors of v.
+func (g *Graph) OutDegree(v NodeID) int {
+	return int(g.outOff[v+1] - g.outOff[v])
+}
+
+// HasEdge reports whether the arc x -> y exists (for undirected graphs,
+// whether {x,y} exists). Runs in O(log deg).
+func (g *Graph) HasEdge(x, y NodeID) bool {
+	in := g.In(y)
+	i := sort.Search(len(in), func(i int) bool { return in[i] >= x })
+	return i < len(in) && in[i] == x
+}
+
+// Edges returns all edges of the graph: each directed arc once, or each
+// undirected edge once with X <= Y.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for v := NodeID(0); int(v) < g.n; v++ {
+		for _, x := range g.In(v) {
+			if g.directed || x <= v {
+				out = append(out, Edge{X: x, Y: v})
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks internal CSR invariants. It is used by tests and by the
+// loaders after constructing a graph from untrusted input.
+func (g *Graph) Validate() error {
+	if len(g.inOff) != g.n+1 || len(g.outOff) != g.n+1 {
+		return fmt.Errorf("graph: offset arrays have wrong length (n=%d, in=%d, out=%d)",
+			g.n, len(g.inOff), len(g.outOff))
+	}
+	if err := validateCSR(g.n, g.inOff, g.inAdj, "in"); err != nil {
+		return err
+	}
+	if err := validateCSR(g.n, g.outOff, g.outAdj, "out"); err != nil {
+		return err
+	}
+	if len(g.inAdj) != len(g.outAdj) {
+		return fmt.Errorf("graph: in/out arc counts differ (%d vs %d)", len(g.inAdj), len(g.outAdj))
+	}
+	// Every arc x->y in the in-adjacency of y must appear in the
+	// out-adjacency of x.
+	for v := NodeID(0); int(v) < g.n; v++ {
+		for _, x := range g.In(v) {
+			out := g.Out(x)
+			i := sort.Search(len(out), func(i int) bool { return out[i] >= v })
+			if i >= len(out) || out[i] != v {
+				return fmt.Errorf("graph: arc %d->%d present in in-adjacency but missing from out-adjacency", x, v)
+			}
+		}
+	}
+	return nil
+}
+
+func validateCSR(n int, off []int32, adj []NodeID, dir string) error {
+	if off[0] != 0 || int(off[n]) != len(adj) {
+		return fmt.Errorf("graph: %s offsets do not span adjacency (first=%d, last=%d, len=%d)",
+			dir, off[0], off[n], len(adj))
+	}
+	for v := 0; v < n; v++ {
+		if off[v] > off[v+1] {
+			return fmt.Errorf("graph: %s offsets not monotone at node %d", dir, v)
+		}
+		row := adj[off[v]:off[v+1]]
+		for i, u := range row {
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: %s adjacency of node %d references out-of-range node %d", dir, v, u)
+			}
+			if i > 0 && row[i-1] >= u {
+				return fmt.Errorf("graph: %s adjacency of node %d not strictly sorted", dir, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are rejected at Freeze time with an error, matching
+// the simple-graph model SimRank assumes.
+type Builder struct {
+	n        int
+	directed bool
+	edges    []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int, directed bool) *Builder {
+	return &Builder{n: n, directed: directed}
+}
+
+// AddEdge records the edge x -> y (or the undirected pair {x,y}).
+func (b *Builder) AddEdge(x, y NodeID) *Builder {
+	b.edges = append(b.edges, Edge{X: x, Y: y})
+	return b
+}
+
+// AddEdges records a batch of edges.
+func (b *Builder) AddEdges(edges []Edge) *Builder {
+	b.edges = append(b.edges, edges...)
+	return b
+}
+
+// Freeze validates the accumulated edges and builds the CSR graph.
+func (b *Builder) Freeze() (*Graph, error) {
+	arcs := make([]Edge, 0, len(b.edges)*2)
+	seen := make(map[Edge]struct{}, len(b.edges))
+	for _, e := range b.edges {
+		if e.X < 0 || int(e.X) >= b.n || e.Y < 0 || int(e.Y) >= b.n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e.X, e.Y, b.n)
+		}
+		if e.X == e.Y {
+			return nil, fmt.Errorf("graph: self-loop at node %d not allowed", e.X)
+		}
+		key := e
+		if !b.directed && key.X > key.Y {
+			key.X, key.Y = key.Y, key.X
+		}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", e.X, e.Y)
+		}
+		seen[key] = struct{}{}
+		arcs = append(arcs, e)
+		if !b.directed {
+			arcs = append(arcs, Edge{X: e.Y, Y: e.X})
+		}
+	}
+	return fromArcs(b.n, b.directed, arcs), nil
+}
+
+// MustFreeze is Freeze for statically known-good graphs (tests, examples).
+func (b *Builder) MustFreeze() *Graph {
+	g, err := b.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// fromArcs builds the CSR arrays from a list of directed arcs that is
+// already deduplicated (and symmetrized, for undirected graphs).
+func fromArcs(n int, directed bool, arcs []Edge) *Graph {
+	g := &Graph{
+		n:        n,
+		directed: directed,
+		inOff:    make([]int32, n+1),
+		outOff:   make([]int32, n+1),
+		inAdj:    make([]NodeID, len(arcs)),
+		outAdj:   make([]NodeID, len(arcs)),
+	}
+	for _, e := range arcs {
+		g.inOff[e.Y+1]++
+		g.outOff[e.X+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+		g.outOff[v+1] += g.outOff[v]
+	}
+	inNext := make([]int32, n)
+	outNext := make([]int32, n)
+	for _, e := range arcs {
+		g.inAdj[g.inOff[e.Y]+inNext[e.Y]] = e.X
+		inNext[e.Y]++
+		g.outAdj[g.outOff[e.X]+outNext[e.X]] = e.Y
+		outNext[e.X]++
+	}
+	for v := NodeID(0); int(v) < n; v++ {
+		sortNodeIDs(g.inAdj[g.inOff[v]:g.inOff[v+1]])
+		sortNodeIDs(g.outAdj[g.outOff[v]:g.outOff[v+1]])
+	}
+	return g
+}
+
+func sortNodeIDs(s []NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

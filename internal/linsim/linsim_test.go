@@ -1,0 +1,133 @@
+package linsim
+
+import (
+	"math"
+	"testing"
+
+	"crashsim/internal/exact"
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	for _, o := range []Options{{C: 2}, {Eps: 7}, {K: -1}, {DSamples: -1}} {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(graph.PaperExample(), Options{C: 5}); err == nil {
+		t.Error("bad options accepted")
+	}
+	s, err := New(graph.PaperExample(), Options{DSamples: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SingleSource(-1); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := s.Sim(0, 99); err == nil {
+		t.Error("bad pair accepted")
+	}
+}
+
+// TestAccuracyAgainstPowerMethod: the deterministic series with the MC
+// diagonal must track the exact fixed point on multiple graph shapes.
+func TestAccuracyAgainstPowerMethod(t *testing.T) {
+	graphs := map[string]*graph.Graph{"paper-example": graph.PaperExample()}
+	edges, err := gen.ErdosRenyi(60, 180, true, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphs["random-er"], err = gen.BuildStatic(60, true, edges); err != nil {
+		t.Fatal(err)
+	}
+	baEdges, err := gen.PreferentialAttachment(80, 3, true, 92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphs["random-ba"], err = gen.BuildStatic(80, true, baEdges); err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range graphs {
+		gt, err := exact.PowerMethod(g, exact.PowerOptions{C: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(g, Options{C: 0.6, DSamples: 600, Seed: 93})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := graph.NodeID(0); int(u) < g.NumNodes(); u += 11 {
+			col, err := s.SingleSource(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst := 0.0
+			for v := 0; v < g.NumNodes(); v++ {
+				if d := math.Abs(col[v] - gt.Sim(u, graph.NodeID(v))); d > worst {
+					worst = d
+				}
+			}
+			if worst > 0.06 {
+				t.Errorf("%s source %d: max error %.4f above 0.06", name, u, worst)
+			}
+		}
+	}
+}
+
+// TestDeterministicQueries: unlike the Monte-Carlo methods, repeated
+// queries must be bit-identical (all noise lives in the shared d).
+func TestDeterministicQueries(t *testing.T) {
+	g := graph.PaperExample()
+	s, err := New(g, Options{DSamples: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.SingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.SingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("repeated query differs at %d", v)
+		}
+	}
+}
+
+func TestDiagonalRange(t *testing.T) {
+	g := graph.PaperExample()
+	s, err := New(g, Options{C: 0.6, DSamples: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if d := s.D(v); d < 1-0.6-0.1 || d > 1 {
+			t.Errorf("d(%d) = %g outside plausible range", v, d)
+		}
+	}
+}
+
+func TestDanglingSource(t *testing.T) {
+	g := graph.NewBuilder(3, true).AddEdge(0, 2).AddEdge(1, 2).MustFreeze()
+	s, err := New(g, Options{DSamples: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := s.SingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[0] != 1 || col[1] != 0 || col[2] != 0 {
+		t.Errorf("dangling-source column = %v, want [1 0 0]", col)
+	}
+}

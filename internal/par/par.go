@@ -1,0 +1,42 @@
+// Package par provides the one concurrency primitive the algorithms
+// share: a deterministic parallel for-loop over an index range, used to
+// fan out independent per-node work (index pushes, matrix rows,
+// candidate estimates). Work items must not depend on each other; the
+// results are bit-identical for any worker count.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across up to workers
+// goroutines; workers <= 1 runs inline. It returns when all calls have
+// finished.
+func ForEach(n, workers int, fn func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

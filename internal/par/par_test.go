@@ -1,0 +1,35 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversRange(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 57
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, n)
+		ForEach(n, workers, func(i int) {
+			if seen[i].Swap(true) {
+				t.Errorf("workers=%d: index %d visited twice", workers, i)
+			}
+			hits.Add(1)
+		})
+		if got := hits.Load(); got != int64(n) {
+			t.Errorf("workers=%d: %d calls, want %d", workers, got, n)
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	calls := 0
+	ForEach(0, 4, func(int) { calls++ })
+	if calls != 0 {
+		t.Errorf("empty range made %d calls", calls)
+	}
+	ForEach(1, 4, func(i int) { calls += i + 1 })
+	if calls != 1 {
+		t.Errorf("single range wrong: %d", calls)
+	}
+}

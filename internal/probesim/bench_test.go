@@ -1,0 +1,28 @@
+package probesim
+
+import (
+	"testing"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+// BenchmarkSingleSource measures one index-free single-source query at a
+// fixed iteration budget.
+func BenchmarkSingleSource(b *testing.B) {
+	edges, err := gen.ChungLu(2000, 20000, 2.0, true, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := gen.BuildStatic(2000, true, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{Iterations: 200, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SingleSource(g, graph.NodeID(i%2000), opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

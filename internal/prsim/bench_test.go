@@ -1,0 +1,50 @@
+package prsim
+
+import (
+	"testing"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+func benchGraph(b *testing.B, n, m int) *graph.Graph {
+	b.Helper()
+	edges, err := gen.ChungLu(n, m, 2.0, true, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := gen.BuildStatic(n, true, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkBuild measures the eager hub-indexing phase.
+func BenchmarkBuild(b *testing.B) {
+	g := benchGraph(b, 2000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{HubFraction: 0.05, Iterations: 200, DSamples: 60, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuery measures warm queries (tail caches filled).
+func BenchmarkQuery(b *testing.B) {
+	g := benchGraph(b, 2000, 20000)
+	ix, err := Build(g, Options{HubFraction: 0.05, Iterations: 200, DSamples: 60, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ix.SingleSource(0); err != nil { // warm the caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.SingleSource(graph.NodeID(i % 2000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

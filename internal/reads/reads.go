@@ -1,0 +1,300 @@
+// Package reads implements the READS baseline (Jiang et al., PVLDB
+// 2017): an index-based single-source SimRank method for dynamic graphs.
+//
+// The index stores r independent √c-walks from every node, organized in
+// an inverted occurrence index mapping (sample, step, node) to the walk
+// origins passing through — so a single-source query scans the source's
+// r walks and collects, per sample, every origin that co-locates with it
+// (first co-location per origin per sample), giving the meeting-
+// probability estimate sim(u,v) ≈ (1/r)·#{samples whose walks meet}.
+//
+// On an edge update only the walks whose trajectory passes through the
+// edge's head (whose in-neighbor list changed) are regenerated, which is
+// READS' key property: incremental maintenance instead of a full
+// rebuild. The original system's r_q query-time refinement is
+// reproduced as well: RQ fresh walks are sampled from the source at
+// query time and matched against the stored index, adding source-side
+// randomness beyond the r stored walks.
+package reads
+
+import (
+	"fmt"
+	"math"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/rng"
+)
+
+// Options configures the index. The paper's experiments use r = 100 and
+// walk length cap t = 10.
+type Options struct {
+	// C is the SimRank decay factor in (0,1). Default 0.6.
+	C float64
+	// R is the number of stored walks per node. Default 100.
+	R int
+	// MaxLen caps the stored walk length. Default 10.
+	MaxLen int
+	// RQ is the number of fresh source walks sampled per query (the
+	// paper's r_q, default 10 there). 0 disables the refinement and
+	// queries use only the stored walks.
+	RQ int
+	// Seed makes walk generation deterministic.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.R == 0 {
+		o.R = 100
+	}
+	if o.MaxLen == 0 {
+		o.MaxLen = 10
+	}
+	return o
+}
+
+// Validate checks option ranges after defaulting.
+func (o Options) Validate() error {
+	q := o.withDefaults()
+	if q.C <= 0 || q.C >= 1 {
+		return fmt.Errorf("reads: decay factor c=%g outside (0,1)", q.C)
+	}
+	if q.R < 1 {
+		return fmt.Errorf("reads: walks per node must be >= 1, got %d", q.R)
+	}
+	if q.MaxLen < 1 {
+		return fmt.Errorf("reads: max walk length must be >= 1, got %d", q.MaxLen)
+	}
+	if q.RQ < 0 {
+		return fmt.Errorf("reads: query walks must be >= 0, got %d", q.RQ)
+	}
+	return nil
+}
+
+// posKey addresses one (step, node) slot within a sample's inverted
+// index.
+type posKey struct {
+	step int32
+	node graph.NodeID
+}
+
+// Index holds the stored walks over a mutable graph.
+type Index struct {
+	opt   Options
+	g     *graph.DiGraph
+	walks [][][]graph.NodeID          // walks[k][v] = k-th stored walk of v
+	inv   []map[posKey][]graph.NodeID // per sample: (step,node) -> origins
+	sc    float64
+}
+
+// Build generates the r walks per node on a private copy of g's current
+// state.
+func Build(g *graph.DiGraph, opt Options) (*Index, error) {
+	o := opt.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		opt:   o,
+		g:     g.Clone(),
+		walks: make([][][]graph.NodeID, o.R),
+		inv:   make([]map[posKey][]graph.NodeID, o.R),
+		sc:    math.Sqrt(o.C),
+	}
+	n := ix.g.NumNodes()
+	for k := 0; k < o.R; k++ {
+		ix.walks[k] = make([][]graph.NodeID, n)
+		ix.inv[k] = make(map[posKey][]graph.NodeID, n)
+		for v := 0; v < n; v++ {
+			ix.storeWalk(k, graph.NodeID(v))
+		}
+	}
+	return ix, nil
+}
+
+// storeWalk samples and indexes the k-th walk of origin v.
+func (ix *Index) storeWalk(k int, v graph.NodeID) {
+	r := rng.Split(ix.opt.Seed^uint64(k)<<32, uint64(v))
+	w := []graph.NodeID{v}
+	cur := v
+	for step := 0; step < ix.opt.MaxLen; step++ {
+		if r.Float64() >= ix.sc {
+			break
+		}
+		in := ix.g.In(cur)
+		if len(in) == 0 {
+			break
+		}
+		cur = in[r.IntN(len(in))]
+		w = append(w, cur)
+	}
+	ix.walks[k][v] = w
+	for step := 1; step < len(w); step++ {
+		key := posKey{step: int32(step), node: w[step]}
+		ix.inv[k][key] = append(ix.inv[k][key], v)
+	}
+}
+
+// dropWalk removes the k-th walk of origin v from the inverted index.
+func (ix *Index) dropWalk(k int, v graph.NodeID) {
+	w := ix.walks[k][v]
+	for step := 1; step < len(w); step++ {
+		key := posKey{step: int32(step), node: w[step]}
+		list := ix.inv[k][key]
+		for i, origin := range list {
+			if origin == v {
+				list[i] = list[len(list)-1]
+				ix.inv[k][key] = list[:len(list)-1]
+				break
+			}
+		}
+		if len(ix.inv[k][key]) == 0 {
+			delete(ix.inv[k], key)
+		}
+	}
+}
+
+// ApplyEdge updates the index for a single edge insertion (add = true)
+// or deletion. The head node's in-neighbor list changes, so every stored
+// walk visiting the head at any step before its last is resampled, plus
+// all walks originating at the head.
+func (ix *Index) ApplyEdge(e graph.Edge, add bool) error {
+	var err error
+	if add {
+		err = ix.g.AddEdge(e.X, e.Y)
+	} else {
+		err = ix.g.RemoveEdge(e.X, e.Y)
+	}
+	if err != nil {
+		return fmt.Errorf("reads: applying edge update: %w", err)
+	}
+	heads := []graph.NodeID{e.Y}
+	if !ix.g.Directed() {
+		heads = append(heads, e.X)
+	}
+	for k := 0; k < ix.opt.R; k++ {
+		affected := map[graph.NodeID]struct{}{}
+		for _, h := range heads {
+			affected[h] = struct{}{}
+			for step := 1; step <= ix.opt.MaxLen; step++ {
+				for _, origin := range ix.inv[k][posKey{step: int32(step), node: h}] {
+					affected[origin] = struct{}{}
+				}
+			}
+		}
+		for v := range affected {
+			ix.dropWalk(k, v)
+			ix.storeWalk(k, v)
+		}
+	}
+	return nil
+}
+
+// ApplyDelta applies a batch of deletions then insertions.
+func (ix *Index) ApplyDelta(add, del []graph.Edge) error {
+	for _, e := range del {
+		if err := ix.ApplyEdge(e, false); err != nil {
+			return err
+		}
+	}
+	for _, e := range add {
+		if err := ix.ApplyEdge(e, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SingleSource estimates sim(u, ·): per sample, the origins co-locating
+// with u's walk (first co-location per origin per sample) each
+// contribute one count; counts are averaged over the r stored samples
+// plus the RQ fresh source walks.
+func (ix *Index) SingleSource(u graph.NodeID) (map[graph.NodeID]float64, error) {
+	n := ix.g.NumNodes()
+	if u < 0 || int(u) >= n {
+		return nil, fmt.Errorf("reads: source %d out of range for n=%d", u, n)
+	}
+	scores := make(map[graph.NodeID]float64, 64)
+	met := make(map[graph.NodeID]struct{}, 64)
+	samples := ix.opt.R + ix.opt.RQ
+	inc := 1 / float64(samples)
+	for k := 0; k < ix.opt.R; k++ {
+		ix.accumulate(k, ix.walks[k][u], u, inc, met, scores)
+	}
+	// r_q refinement: fresh source walks matched against stored index
+	// samples round-robin.
+	if ix.opt.RQ > 0 {
+		r := rng.Split(ix.opt.Seed^0xdeadbeef, uint64(u))
+		w := make([]graph.NodeID, 0, ix.opt.MaxLen+1)
+		for f := 0; f < ix.opt.RQ; f++ {
+			w = ix.sampleFresh(u, r, w)
+			ix.accumulate(f%ix.opt.R, w, u, inc, met, scores)
+		}
+	}
+	scores[u] = 1
+	return scores, nil
+}
+
+// accumulate adds one sample's first co-locations of walk w (from u)
+// against stored sample k.
+func (ix *Index) accumulate(k int, w []graph.NodeID, u graph.NodeID, inc float64,
+	met map[graph.NodeID]struct{}, scores map[graph.NodeID]float64) {
+	clear(met)
+	for step := 1; step < len(w); step++ {
+		for _, origin := range ix.inv[k][posKey{step: int32(step), node: w[step]}] {
+			if origin == u {
+				continue
+			}
+			if _, seen := met[origin]; seen {
+				continue
+			}
+			met[origin] = struct{}{}
+			scores[origin] += inc
+		}
+	}
+}
+
+// sampleFresh draws a query-time √c-walk from u on the current graph.
+func (ix *Index) sampleFresh(u graph.NodeID, r *rng.Source, buf []graph.NodeID) []graph.NodeID {
+	buf = append(buf[:0], u)
+	cur := u
+	for step := 0; step < ix.opt.MaxLen; step++ {
+		if r.Float64() >= ix.sc {
+			break
+		}
+		in := ix.g.In(cur)
+		if len(in) == 0 {
+			break
+		}
+		cur = in[r.IntN(len(in))]
+		buf = append(buf, cur)
+	}
+	return buf
+}
+
+// NumWalks returns the total number of stored walks (r · n).
+func (ix *Index) NumWalks() int {
+	total := 0
+	for k := range ix.walks {
+		total += len(ix.walks[k])
+	}
+	return total
+}
+
+// Positions returns the total number of stored walk positions across
+// all samples, the index-memory proxy the benchmark reports use.
+func (ix *Index) Positions() int {
+	total := 0
+	for k := range ix.walks {
+		for _, w := range ix.walks[k] {
+			total += len(w)
+		}
+	}
+	return total
+}
+
+// Graph returns the index's private graph copy (tests use it to verify
+// the update path keeps it in sync).
+func (ix *Index) Graph() *graph.DiGraph { return ix.g }

@@ -1,0 +1,208 @@
+// Package server exposes SimRank queries over HTTP with a small JSON
+// API, turning the library into a queryable service:
+//
+//	GET /health              -> {"status":"ok"}
+//	GET /stats               -> graph statistics
+//	GET /singlesource?u=3&k=10
+//	GET /pair?u=3&v=17
+//	GET /topk?u=3&k=10
+//
+// The server owns one immutable graph; queries are read-only and safe
+// to serve concurrently. All estimator parameters are fixed at
+// construction so results are reproducible across requests.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"crashsim/internal/core"
+	"crashsim/internal/graph"
+	"crashsim/internal/metrics"
+)
+
+// Config fixes the served graph and estimator parameters.
+type Config struct {
+	Graph  *graph.Graph
+	Params core.Params
+	// DefaultK bounds result lists when the request omits k. Default 10.
+	DefaultK int
+	// MaxK caps requested result lengths. Default 1000.
+	MaxK int
+}
+
+// Server is an http.Handler answering SimRank queries.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New validates the configuration and builds the handler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("server: graph must not be nil")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DefaultK == 0 {
+		cfg.DefaultK = 10
+	}
+	if cfg.MaxK == 0 {
+		cfg.MaxK = 1000
+	}
+	if cfg.DefaultK < 1 || cfg.MaxK < cfg.DefaultK {
+		return nil, fmt.Errorf("server: bad k bounds (default %d, max %d)", cfg.DefaultK, cfg.MaxK)
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /health", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /singlesource", s.handleSingleSource)
+	s.mux.HandleFunc("GET /pair", s.handlePair)
+	s.mux.HandleFunc("GET /topk", s.handleTopK)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := graph.ComputeStats(s.cfg.Graph)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":       st.Nodes,
+		"edges":       st.Edges,
+		"directed":    st.Directed,
+		"meanInDeg":   st.MeanInDeg,
+		"maxInDeg":    st.MaxInDeg,
+		"danglingIn":  st.DanglingIn,
+		"danglingOut": st.DanglingOut,
+		"medianInDeg": st.MedianInDeg,
+	})
+}
+
+// nodeParam parses a node id query parameter and range-checks it.
+func (s *Server) nodeParam(r *http.Request, name string) (graph.NodeID, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad node id %q", raw)
+	}
+	if v < 0 || int(v) >= s.cfg.Graph.NumNodes() {
+		return 0, fmt.Errorf("node %d out of range [0,%d)", v, s.cfg.Graph.NumNodes())
+	}
+	return graph.NodeID(v), nil
+}
+
+// kParam parses the optional k parameter with defaults and caps.
+func (s *Server) kParam(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return s.cfg.DefaultK, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k < 1 {
+		return 0, fmt.Errorf("bad k %q", raw)
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	return k, nil
+}
+
+// scoredNode is one JSON result entry.
+type scoredNode struct {
+	Node  graph.NodeID `json:"node"`
+	Score float64      `json:"score"`
+}
+
+func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
+	u, err := s.nodeParam(r, "u")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := s.kParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	scores, err := core.SingleSource(s.cfg.Graph, u, nil, s.cfg.Params)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	top := metrics.TopK(scores, u, k)
+	out := make([]scoredNode, len(top))
+	for i, v := range top {
+		out[i] = scoredNode{Node: v, Score: scores[v]}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"source": u, "results": out})
+}
+
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	u, err := s.nodeParam(r, "u")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, err := s.nodeParam(r, "v")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	score, err := core.SinglePair(s.cfg.Graph, u, v, s.cfg.Params)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "score": score})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	u, err := s.nodeParam(r, "u")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := s.kParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ranked, err := core.TopK(s.cfg.Graph, u, k, s.cfg.Params)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]scoredNode, len(ranked))
+	for i, rn := range ranked {
+		out[i] = scoredNode{Node: rn.Node, Score: rn.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"source": u, "results": out})
+}

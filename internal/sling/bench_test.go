@@ -1,0 +1,47 @@
+package sling
+
+import (
+	"testing"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+func benchGraph(b *testing.B, n, m int) *graph.Graph {
+	b.Helper()
+	edges, err := gen.ChungLu(n, m, 2.0, true, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := gen.BuildStatic(n, true, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkBuild measures index construction — SLING's dominant cost.
+func BenchmarkBuild(b *testing.B) {
+	g := benchGraph(b, 2000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{DSamples: 60, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuery measures the post-build single-source query.
+func BenchmarkQuery(b *testing.B) {
+	g := benchGraph(b, 2000, 20000)
+	ix, err := Build(g, Options{DSamples: 60, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.SingleSource(graph.NodeID(i % 2000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package sling implements the SLING baseline (Tian & Xiao, SIGMOD
+// 2016): an index-based single-source SimRank method with an additive
+// error guarantee.
+//
+// SLING is built on the decomposition
+//
+//	sim(u, v) = Σ_t Σ_x h_t(u, x) · h_t(v, x) · d(x)
+//
+// where h_t(y, x) is the probability that a √c-walk from y is at x after
+// t steps, and d(x) is the probability that two independent √c-walks
+// starting together at x never co-locate again at a later step — the
+// correction that turns co-location mass into first-meeting mass.
+//
+// The index stores, for every node, its truncated hitting-probability
+// distribution (computed by a deterministic level-by-level push with a
+// pruning threshold) plus the Monte-Carlo estimated d values; queries
+// combine the source's distribution with an inverted occurrence index.
+// Index construction is deliberately the expensive phase — the paper
+// notes SLING's index takes hours on million-node graphs and must be
+// rebuilt on every update, which is why its Fig 5/7 response times
+// include indexing time.
+package sling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/par"
+	"crashsim/internal/rng"
+)
+
+// Options configures index construction.
+type Options struct {
+	// C is the SimRank decay factor in (0,1). Default 0.6.
+	C float64
+	// Eps is the additive error target ε. Default 0.025.
+	Eps float64
+	// Lmax truncates the stored distributions. 0 derives the length at
+	// which the remaining walk mass (√c)^L drops below ε/4.
+	Lmax int
+	// Prune drops per-entry probabilities below this threshold during
+	// the push. 0 derives ε·(1−√c)/8.
+	Prune float64
+	// DSamples is the number of coupled walk pairs used to estimate each
+	// d(x). Default 120.
+	DSamples int
+	// Workers bounds index-construction parallelism (the per-node pushes
+	// and d estimations are independent). Results are identical for any
+	// value. 0 or 1 is sequential.
+	Workers int
+	// Seed makes the d estimation deterministic.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.025
+	}
+	sc := math.Sqrt(o.C)
+	if o.Lmax == 0 {
+		o.Lmax = int(math.Ceil(math.Log(o.Eps/4) / math.Log(sc)))
+	}
+	if o.Prune == 0 {
+		o.Prune = o.Eps * (1 - sc) / 8
+	}
+	if o.DSamples == 0 {
+		o.DSamples = 120
+	}
+	return o
+}
+
+// Validate checks option ranges after defaulting.
+func (o Options) Validate() error {
+	q := o.withDefaults()
+	if q.C <= 0 || q.C >= 1 {
+		return fmt.Errorf("sling: decay factor c=%g outside (0,1)", q.C)
+	}
+	if q.Eps <= 0 || q.Eps >= 1 {
+		return fmt.Errorf("sling: error bound eps=%g outside (0,1)", q.Eps)
+	}
+	if q.Lmax < 1 {
+		return fmt.Errorf("sling: lmax must be >= 1, got %d", q.Lmax)
+	}
+	if q.DSamples < 1 {
+		return fmt.Errorf("sling: d samples must be >= 1, got %d", q.DSamples)
+	}
+	return nil
+}
+
+// entry is one stored (step, node, probability) triple of a node's
+// hitting distribution.
+type entry struct {
+	step int32
+	node graph.NodeID
+	prob float64
+}
+
+// occurrence links an index position back to the node whose distribution
+// contains it, for the inverted index.
+type occurrence struct {
+	origin graph.NodeID
+	prob   float64
+}
+
+// Index is a built SLING index over one static graph.
+type Index struct {
+	g    *graph.Graph
+	opt  Options
+	dist [][]entry                       // per node: truncated hitting distribution
+	inv  []map[graph.NodeID][]occurrence // per step: node -> walks passing through
+	d    []float64                       // per node: never-meet-again correction
+}
+
+// Build constructs the index: one bounded push per node, the inverted
+// occurrence index, and the Monte-Carlo d estimation. Cost is
+// O(n · push + n · DSamples · E[walk]) and dominates query time by
+// design.
+func Build(g *graph.Graph, opt Options) (*Index, error) {
+	o := opt.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	ix := &Index{
+		g:    g,
+		opt:  o,
+		dist: make([][]entry, n),
+		inv:  make([]map[graph.NodeID][]occurrence, o.Lmax+1),
+		d:    make([]float64, n),
+	}
+	for t := range ix.inv {
+		ix.inv[t] = make(map[graph.NodeID][]occurrence)
+	}
+	// The per-node pushes and d estimations are independent; fan them
+	// out, then build the inverted index sequentially in node order so
+	// occurrence lists (and therefore query-time summation order) stay
+	// deterministic.
+	par.ForEach(n, o.Workers, func(v int) {
+		ix.dist[v] = push(g, graph.NodeID(v), o)
+	})
+	for v := 0; v < n; v++ {
+		for _, e := range ix.dist[v] {
+			ix.inv[e.step][e.node] = append(ix.inv[e.step][e.node],
+				occurrence{origin: graph.NodeID(v), prob: e.prob})
+		}
+	}
+	par.ForEach(n, o.Workers, func(x int) {
+		ix.d[x] = estimateD(g, o, graph.NodeID(x))
+	})
+	return ix, nil
+}
+
+// push computes the truncated hitting distribution of v: the probability
+// of a √c-walk from v being at each node after each step, dropping
+// entries below the pruning threshold. Step 0 (the node itself) is not
+// stored; meetings at step 0 only concern u = v, which queries handle
+// directly.
+func push(g *graph.Graph, v graph.NodeID, o Options) []entry {
+	sc := math.Sqrt(o.C)
+	cur := map[graph.NodeID]float64{v: 1}
+	var out []entry
+	var order []graph.NodeID
+	for t := 1; t <= o.Lmax; t++ {
+		next := make(map[graph.NodeID]float64, len(cur)*2)
+		order = order[:0]
+		for x := range cur {
+			order = append(order, x)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, x := range order {
+			in := g.In(x)
+			if len(in) == 0 {
+				continue
+			}
+			w := cur[x] * sc / float64(len(in))
+			if w < o.Prune {
+				continue
+			}
+			for _, y := range in {
+				next[y] += w
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		// Emit in sorted node order so the index layout (and therefore
+		// floating-point summation order at query time) is deterministic.
+		order = order[:0]
+		for x := range next {
+			order = append(order, x)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, x := range order {
+			if p := next[x]; p >= o.Prune {
+				out = append(out, entry{step: int32(t), node: x, prob: p})
+			}
+		}
+		cur = next
+	}
+	return out
+}
+
+// estimateD returns d(x) = Pr[two √c-walks from x never co-locate at
+// the same step >= 1], estimated by coupled sampling with a stream
+// derived from x so the result is independent of evaluation order.
+func estimateD(g *graph.Graph, o Options, x graph.NodeID) float64 {
+	sc := math.Sqrt(o.C)
+	r := rng.Split(o.Seed, uint64(x))
+	never := 0
+	for s := 0; s < o.DSamples; s++ {
+		a, b := x, x
+		met := false
+		for t := 1; t <= o.Lmax; t++ {
+			if r.Float64() >= sc || r.Float64() >= sc {
+				break // one of the walks stopped
+			}
+			ia, ib := g.In(a), g.In(b)
+			if len(ia) == 0 || len(ib) == 0 {
+				break
+			}
+			a = ia[r.IntN(len(ia))]
+			b = ib[r.IntN(len(ib))]
+			if a == b {
+				met = true
+				break
+			}
+		}
+		if !met {
+			never++
+		}
+	}
+	return float64(never) / float64(o.DSamples)
+}
+
+// SingleSource returns sim(u, ·) estimates for all nodes using the
+// prebuilt index. Query cost is proportional to the overlap between u's
+// distribution and the inverted occurrence lists.
+func (ix *Index) SingleSource(u graph.NodeID) (map[graph.NodeID]float64, error) {
+	n := ix.g.NumNodes()
+	if u < 0 || int(u) >= n {
+		return nil, fmt.Errorf("sling: source %d out of range for n=%d", u, n)
+	}
+	scores := make(map[graph.NodeID]float64, 64)
+	for _, e := range ix.dist[u] {
+		for _, occ := range ix.inv[e.step][e.node] {
+			scores[occ.origin] += e.prob * occ.prob * ix.d[e.node]
+		}
+	}
+	scores[u] = 1
+	return scores, nil
+}
+
+// D exposes the correction value d(x), used by tests.
+func (ix *Index) D(x graph.NodeID) float64 { return ix.d[x] }
+
+// DistSize returns the total number of stored index entries, a proxy for
+// index memory in the benchmark reports.
+func (ix *Index) DistSize() int {
+	total := 0
+	for _, d := range ix.dist {
+		total += len(d)
+	}
+	return total
+}

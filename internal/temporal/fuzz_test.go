@@ -1,0 +1,34 @@
+package temporal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the temporal parser never panics and that every
+// successfully parsed history round-trips through the writer.
+func FuzzRead(f *testing.F) {
+	f.Add("# crashsim-temporal: nodes=3 directed=true snapshots=2\n0 + 0 1\n1 - 0 1\n")
+	f.Add("# crashsim-temporal: nodes=2 directed=false snapshots=1\n0 + 0 1\n")
+	f.Add("0 + 0 1\n")
+	f.Add("# crashsim-temporal: nodes=x\n")
+	f.Add("# crashsim-temporal: nodes=3 snapshots=2\n1 * 0 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tg, err := ReadLimit(strings.NewReader(input), 1<<16)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tg); err != nil {
+			t.Fatalf("writing parsed history: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noutput: %q", err, buf.String())
+		}
+		if back.NumNodes() != tg.NumNodes() || back.NumSnapshots() != tg.NumSnapshots() {
+			t.Fatal("round trip changed dimensions")
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package temporal
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crashsim/internal/graph"
+)
+
+func mustTemporal(t *testing.T, n int, directed bool, initial []graph.Edge, deltas []Delta) *Graph {
+	t.Helper()
+	tg, err := New(n, directed, initial, deltas)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tg
+}
+
+func TestCursorWalksHistory(t *testing.T) {
+	tg := mustTemporal(t, 4, true,
+		[]graph.Edge{{X: 0, Y: 1}, {X: 1, Y: 2}},
+		[]Delta{
+			{Add: []graph.Edge{{X: 2, Y: 3}}},
+			{Del: []graph.Edge{{X: 0, Y: 1}}, Add: []graph.Edge{{X: 3, Y: 0}}},
+		})
+	if got := tg.NumSnapshots(); got != 3 {
+		t.Fatalf("NumSnapshots = %d, want 3", got)
+	}
+	cur, err := tg.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := []int{2, 3, 3}
+	for i := 0; ; i++ {
+		if cur.T() != i {
+			t.Fatalf("cursor at %d, want %d", cur.T(), i)
+		}
+		g := cur.Freeze()
+		if g.NumEdges() != wantEdges[i] {
+			t.Errorf("snapshot %d has %d edges, want %d", i, g.NumEdges(), wantEdges[i])
+		}
+		if !cur.Next() {
+			break
+		}
+	}
+	if cur.Err() != nil {
+		t.Fatalf("cursor error: %v", cur.Err())
+	}
+	// Final snapshot content.
+	g := cur.Freeze()
+	if g.HasEdge(0, 1) || !g.HasEdge(3, 0) || !g.HasEdge(2, 3) {
+		t.Error("final snapshot content wrong")
+	}
+}
+
+func TestSnapshotMaterialization(t *testing.T) {
+	tg := mustTemporal(t, 3, false,
+		[]graph.Edge{{X: 0, Y: 1}},
+		[]Delta{{Add: []graph.Edge{{X: 1, Y: 2}}}})
+	g0, err := tg.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.NumEdges() != 1 {
+		t.Errorf("snapshot 0 edges = %d, want 1", g0.NumEdges())
+	}
+	g1, err := tg.Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != 2 || !g1.HasEdge(2, 1) {
+		t.Error("snapshot 1 content wrong")
+	}
+	if _, err := tg.Snapshot(2); err == nil {
+		t.Error("out-of-range snapshot accepted")
+	}
+	if _, err := tg.Snapshot(-1); err == nil {
+		t.Error("negative snapshot accepted")
+	}
+}
+
+func TestNewValidatesHistory(t *testing.T) {
+	cases := []struct {
+		name   string
+		init   []graph.Edge
+		deltas []Delta
+		want   string
+	}{
+		{"dup initial", []graph.Edge{{X: 0, Y: 1}, {X: 0, Y: 1}}, nil, "already present"},
+		{"add existing", []graph.Edge{{X: 0, Y: 1}}, []Delta{{Add: []graph.Edge{{X: 0, Y: 1}}}}, "already present"},
+		{"del missing", nil, []Delta{{Del: []graph.Edge{{X: 0, Y: 1}}}}, "not present"},
+		{"self loop", []graph.Edge{{X: 1, Y: 1}}, nil, "self-loop"},
+		{"out of range", []graph.Edge{{X: 0, Y: 9}}, nil, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(3, true, tc.init, tc.deltas)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDiffEdges(t *testing.T) {
+	a := []graph.Edge{{X: 0, Y: 1}, {X: 1, Y: 2}}
+	b := []graph.Edge{{X: 1, Y: 2}, {X: 2, Y: 3}}
+	d := DiffEdges(true, a, b)
+	if len(d.Add) != 1 || d.Add[0] != (graph.Edge{X: 2, Y: 3}) {
+		t.Errorf("Add = %v", d.Add)
+	}
+	if len(d.Del) != 1 || d.Del[0] != (graph.Edge{X: 0, Y: 1}) {
+		t.Errorf("Del = %v", d.Del)
+	}
+	// Undirected canonicalization: {1,0} equals {0,1}.
+	d = DiffEdges(false, []graph.Edge{{X: 1, Y: 0}}, []graph.Edge{{X: 0, Y: 1}})
+	if d.Size() != 0 {
+		t.Errorf("undirected diff should be empty, got %+v", d)
+	}
+}
+
+func TestFromSnapshotsRoundTrip(t *testing.T) {
+	snaps := [][]graph.Edge{
+		{{X: 0, Y: 1}, {X: 1, Y: 2}},
+		{{X: 1, Y: 2}, {X: 2, Y: 0}},
+		{{X: 2, Y: 0}},
+	}
+	tg, err := FromSnapshots(3, true, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range snaps {
+		g, err := tg.Snapshot(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() != len(want) {
+			t.Errorf("snapshot %d has %d edges, want %d", i, g.NumEdges(), len(want))
+		}
+		for _, e := range want {
+			if !g.HasEdge(e.X, e.Y) {
+				t.Errorf("snapshot %d missing edge %v", i, e)
+			}
+		}
+	}
+	if _, err := FromSnapshots(3, true, nil); err == nil {
+		t.Error("empty snapshot list accepted")
+	}
+}
+
+// TestFromSnapshotsQuick property-checks that rebuilding arbitrary
+// random snapshot sequences through deltas reproduces each snapshot
+// exactly.
+func TestFromSnapshotsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		n := 3 + r.IntN(10)
+		T := 2 + r.IntN(5)
+		snaps := make([][]graph.Edge, T)
+		for i := range snaps {
+			seen := map[graph.Edge]struct{}{}
+			for j := 0; j < r.IntN(2*n); j++ {
+				x, y := graph.NodeID(r.IntN(n)), graph.NodeID(r.IntN(n))
+				if x == y {
+					continue
+				}
+				seen[graph.Edge{X: x, Y: y}] = struct{}{}
+			}
+			for e := range seen {
+				snaps[i] = append(snaps[i], e)
+			}
+		}
+		tg, err := FromSnapshots(n, true, snaps)
+		if err != nil {
+			return false
+		}
+		for i, want := range snaps {
+			g, err := tg.Snapshot(i)
+			if err != nil || g.NumEdges() != len(want) {
+				return false
+			}
+			for _, e := range want {
+				if !g.HasEdge(e.X, e.Y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tg := mustTemporal(t, 3, true,
+		[]graph.Edge{{X: 0, Y: 1}},
+		[]Delta{
+			{Add: []graph.Edge{{X: 1, Y: 2}}},
+			{Add: []graph.Edge{{X: 2, Y: 0}}},
+			{Del: []graph.Edge{{X: 0, Y: 1}}},
+		})
+	sl, err := tg.Slice(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.NumSnapshots() != 3 {
+		t.Fatalf("slice has %d snapshots, want 3", sl.NumSnapshots())
+	}
+	g0, err := sl.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.NumEdges() != 2 || !g0.HasEdge(1, 2) {
+		t.Error("slice snapshot 0 should equal original snapshot 1")
+	}
+	g2, err := sl.Snapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.HasEdge(0, 1) || g2.NumEdges() != 2 {
+		t.Error("slice snapshot 2 should equal original snapshot 3")
+	}
+	for _, bad := range [][2]int{{-1, 2}, {0, 9}, {2, 2}, {3, 1}} {
+		if _, err := tg.Slice(bad[0], bad[1]); err == nil {
+			t.Errorf("Slice(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package tempq
+
+import (
+	"fmt"
+	"sort"
+
+	"crashsim/internal/core"
+	"crashsim/internal/graph"
+	"crashsim/internal/temporal"
+)
+
+// Band keeps nodes whose similarity to the source stays inside
+// [Low, High] at every snapshot — a stability query: the relationship
+// neither decays below Low nor spikes above High. It generalizes
+// Threshold (Band{Low: θ, High: 1}).
+type Band struct {
+	Low, High float64
+}
+
+// Name implements Query.
+func (b Band) Name() string { return fmt.Sprintf("band-%.3f-%.3f", b.Low, b.High) }
+
+// Keep implements Query.
+func (b Band) Keep(_ int, _ /* prev */, cur float64) bool {
+	return cur >= b.Low && cur <= b.High
+}
+
+// keepAll never filters; it powers aggregate scans like DurableTopK.
+type keepAll struct{}
+
+func (keepAll) Name() string                    { return "keep-all" }
+func (keepAll) Keep(int, float64, float64) bool { return true }
+
+// DurableResult is one answer of a durable top-k query.
+type DurableResult struct {
+	Node graph.NodeID
+	// MinScore is the node's minimum similarity to the source across
+	// the whole interval — the durability value being ranked.
+	MinScore float64
+}
+
+// DurableTopK answers the durable top-k similarity query inspired by
+// the durable-pattern queries the paper cites ([15], Semertzidis &
+// Pitoura): the k nodes whose *minimum* similarity to the source across
+// the entire interval is highest — the most persistently similar nodes,
+// not merely the most similar right now. It reuses CrashSim-T's
+// snapshot machinery (including delta pruning) via the observer hook,
+// tracking each node's running minimum.
+func DurableTopK(tg *temporal.Graph, u graph.NodeID, k int, p core.Params, topt core.TemporalOptions) ([]DurableResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("tempq: durable top-k needs k >= 1, got %d", k)
+	}
+	min := make(map[graph.NodeID]float64)
+	topt.Observer = func(t int, scores core.Scores) {
+		for v, s := range scores {
+			if t == 0 {
+				min[v] = s
+			} else if cur, ok := min[v]; ok && s < cur {
+				min[v] = s
+			}
+		}
+	}
+	if _, err := core.CrashSimT(tg, u, keepAll{}, p, topt); err != nil {
+		return nil, err
+	}
+	out := make([]DurableResult, 0, len(min))
+	for v, s := range min {
+		if v == u {
+			continue
+		}
+		out = append(out, DurableResult{Node: v, MinScore: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MinScore != out[j].MinScore {
+			return out[i].MinScore > out[j].MinScore
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k], nil
+}

@@ -1,0 +1,168 @@
+package tempq
+
+import (
+	"math"
+	"testing"
+
+	"crashsim/internal/core"
+	"crashsim/internal/graph"
+	"crashsim/internal/temporal"
+)
+
+func TestBandKeep(t *testing.T) {
+	b := Band{Low: 0.1, High: 0.5}
+	cases := []struct {
+		cur  float64
+		want bool
+	}{
+		{0.1, true}, {0.3, true}, {0.5, true},
+		{0.09, false}, {0.51, false}, {0, false},
+	}
+	for _, tc := range cases {
+		if got := b.Keep(1, math.NaN(), tc.cur); got != tc.want {
+			t.Errorf("Keep(cur=%g) = %t, want %t", tc.cur, got, tc.want)
+		}
+	}
+	if b.Name() != "band-0.100-0.500" {
+		t.Errorf("name = %q", b.Name())
+	}
+}
+
+func TestDurableTopK(t *testing.T) {
+	// Node 1 stays similar to node 0 in both snapshots (shared
+	// in-neighbor 2 throughout); node 3 is similar only in snapshot 0.
+	tg, err := temporal.New(5, true,
+		[]graph.Edge{{X: 2, Y: 0}, {X: 2, Y: 1}, {X: 2, Y: 3}, {X: 4, Y: 2}},
+		[]temporal.Delta{{
+			Del: []graph.Edge{{X: 2, Y: 3}},
+			Add: []graph.Edge{{X: 4, Y: 3}},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{Iterations: 600, Seed: 9}
+	res, err := DurableTopK(tg, 0, 2, p, core.TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Node != 1 {
+		t.Errorf("most durable node = %d (min %.3f), want 1", res[0].Node, res[0].MinScore)
+	}
+	// Node 3's minimum collapses in snapshot 1, so its durability must
+	// rank below node 1's.
+	for _, r := range res {
+		if r.Node == 3 && r.MinScore >= res[0].MinScore {
+			t.Errorf("node 3 durability %.3f should trail node 1's %.3f", r.MinScore, res[0].MinScore)
+		}
+	}
+	// Ordering is by descending minimum.
+	if len(res) == 2 && res[0].MinScore < res[1].MinScore {
+		t.Error("results not sorted by durability")
+	}
+}
+
+func TestDurableTopKErrors(t *testing.T) {
+	tg := smallTemporal(t, 10, 20, 2, 61)
+	if _, err := DurableTopK(tg, 0, 0, core.Params{Iterations: 10}, core.TemporalOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := DurableTopK(tg, 99, 1, core.Params{Iterations: 10}, core.TemporalOptions{}); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+// TestDurableThresholdEquivalence: a node survives the threshold query
+// iff its minimum score across the interval clears θ — so the
+// CrashSim-T threshold result set must exactly equal the durable-top-k
+// nodes whose MinScore >= θ (same params, same seed, same machinery).
+func TestDurableThresholdEquivalence(t *testing.T) {
+	tg := smallTemporal(t, 30, 90, 5, 71)
+	p := core.Params{Iterations: 150, Seed: 73}
+	theta := 0.03
+
+	res, err := core.CrashSimT(tg, 0, Threshold{Theta: theta}, p, core.TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable, err := DurableTopK(tg, 0, tg.NumNodes(), p, core.TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDurable := map[graph.NodeID]bool{0: true} // source always survives
+	for _, d := range durable {
+		if d.MinScore >= theta {
+			fromDurable[d.Node] = true
+		}
+	}
+	if len(fromDurable) != len(res.Omega) {
+		t.Fatalf("durable-derived set has %d nodes, threshold query %d", len(fromDurable), len(res.Omega))
+	}
+	for _, v := range res.Omega {
+		if !fromDurable[v] {
+			t.Errorf("node %d in threshold result but min score below theta", v)
+		}
+	}
+}
+
+// TestRunInterval: querying a sub-interval must equal running the
+// engine on the sliced history directly, and differ (in general) from
+// the whole-history result.
+func TestRunInterval(t *testing.T) {
+	tg := smallTemporal(t, 25, 70, 6, 81)
+	e := &CrashSimT{Params: core.Params{Iterations: 120, Seed: 83}}
+	q := Threshold{Theta: 0.02}
+
+	got, err := RunInterval(e, tg, 0, q, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tg.Slice(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&CrashSimT{Params: core.Params{Iterations: 120, Seed: 83}}).Run(sub, 0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("interval result %v != sliced result %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("interval result %v != sliced result %v", got, want)
+		}
+	}
+	if _, err := RunInterval(e, tg, 0, q, 5, 2); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, err := RunInterval(e, tg, 0, q, 0, 99); err == nil {
+		t.Error("out-of-range interval accepted")
+	}
+}
+
+func TestObserverSeesEverySnapshot(t *testing.T) {
+	tg := smallTemporal(t, 15, 40, 4, 63)
+	var visits []int
+	topt := core.TemporalOptions{Observer: func(t int, scores core.Scores) {
+		visits = append(visits, t)
+		if len(scores) == 0 {
+			panic("empty score map in observer")
+		}
+	}}
+	_, err := core.CrashSimT(tg, 0, keepAll{}, core.Params{Iterations: 30, Seed: 1}, topt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 4 {
+		t.Fatalf("observer saw %d snapshots, want 4: %v", len(visits), visits)
+	}
+	for i, v := range visits {
+		if v != i {
+			t.Errorf("visit order %v", visits)
+			break
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package tempq implements the temporal SimRank query framework of
+// Sections II-C/II-D: the trend and threshold query predicates, an
+// Engine interface answering a query over a whole temporal graph, the
+// CrashSim-T engine, and the per-snapshot adapters that extend the
+// static baselines (ProbeSim, SLING, READS, Power Method) to temporal
+// queries the way the paper's experiments do.
+package tempq
+
+import (
+	"fmt"
+	"math"
+
+	"crashsim/internal/core"
+)
+
+// Query is the per-snapshot filtering predicate; it is exactly
+// core.TemporalQuery so every engine (including CrashSim-T) shares one
+// query vocabulary.
+type Query = core.TemporalQuery
+
+// Direction selects the monotonicity of a trend query.
+type Direction int
+
+const (
+	// Increasing keeps nodes whose similarity never decreases.
+	Increasing Direction = iota
+	// Decreasing keeps nodes whose similarity never increases.
+	Decreasing
+)
+
+func (d Direction) String() string {
+	if d == Decreasing {
+		return "decreasing"
+	}
+	return "increasing"
+}
+
+// Trend is the Temporal SimRank Trend Query (Definition 4): keep nodes
+// whose SimRank with the source is continuously increasing (or
+// decreasing) over the query interval. Slack is an additive tolerance
+// absorbing Monte-Carlo noise in the per-snapshot estimates; 0 is the
+// strict paper definition.
+type Trend struct {
+	Direction Direction
+	Slack     float64
+}
+
+// Name implements Query.
+func (t Trend) Name() string { return fmt.Sprintf("trend-%s", t.Direction) }
+
+// Keep implements Query.
+func (t Trend) Keep(_ int, prev, cur float64) bool {
+	if math.IsNaN(prev) {
+		return true // first snapshot: no trend constraint yet
+	}
+	if t.Direction == Decreasing {
+		return cur <= prev+t.Slack
+	}
+	return cur >= prev-t.Slack
+}
+
+// Threshold is the Temporal SimRank Thresholds Query (Definition 5):
+// keep nodes whose SimRank with the source stays at or above Theta at
+// every snapshot of the interval.
+type Threshold struct {
+	Theta float64
+}
+
+// Name implements Query.
+func (t Threshold) Name() string { return fmt.Sprintf("threshold-%.3f", t.Theta) }
+
+// Keep implements Query.
+func (t Threshold) Keep(_ int, _ /* prev */, cur float64) bool {
+	return cur >= t.Theta
+}

@@ -1,0 +1,156 @@
+package tempq
+
+import (
+	"math"
+	"testing"
+
+	"crashsim/internal/core"
+	"crashsim/internal/exact"
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+	"crashsim/internal/linsim"
+	"crashsim/internal/metrics"
+	"crashsim/internal/probesim"
+	"crashsim/internal/reads"
+	"crashsim/internal/sling"
+	"crashsim/internal/temporal"
+	"crashsim/internal/tsf"
+)
+
+func TestTrendKeep(t *testing.T) {
+	inc := Trend{Direction: Increasing, Slack: 0.01}
+	if !inc.Keep(0, math.NaN(), 0.5) {
+		t.Error("first snapshot must always keep")
+	}
+	if !inc.Keep(1, 0.5, 0.6) || !inc.Keep(1, 0.5, 0.495) {
+		t.Error("increasing within slack rejected")
+	}
+	if inc.Keep(1, 0.5, 0.4) {
+		t.Error("clear decrease kept by increasing trend")
+	}
+	dec := Trend{Direction: Decreasing, Slack: 0.01}
+	if !dec.Keep(1, 0.5, 0.4) || dec.Keep(1, 0.5, 0.6) {
+		t.Error("decreasing trend logic wrong")
+	}
+	if inc.Name() != "trend-increasing" || dec.Name() != "trend-decreasing" {
+		t.Errorf("names: %q, %q", inc.Name(), dec.Name())
+	}
+}
+
+func TestThresholdKeep(t *testing.T) {
+	q := Threshold{Theta: 0.3}
+	if !q.Keep(0, math.NaN(), 0.3) || q.Keep(1, 1, 0.29) {
+		t.Error("threshold logic wrong")
+	}
+	if q.Name() != "threshold-0.300" {
+		t.Errorf("name = %q", q.Name())
+	}
+}
+
+func smallTemporal(t *testing.T, n, m, snaps int, seed uint64) *temporal.Graph {
+	t.Helper()
+	base, err := gen.ErdosRenyi(n, m, true, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := gen.Churn(n, true, base, gen.ChurnOptions{
+		Snapshots: snaps, AddRate: 0.02, DelRate: 0.02, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func engines() []Engine {
+	return []Engine{
+		&CrashSimT{Params: core.Params{C: 0.6, Iterations: 600, Seed: 31}},
+		&ProbeSimT{Options: probesim.Options{C: 0.6, Iterations: 600, Seed: 32}},
+		&SLINGT{Options: sling.Options{C: 0.6, DSamples: 200, Seed: 33}},
+		&READST{Options: reads.Options{C: 0.6, R: 600, RQ: 60, Seed: 34}},
+		&TSFT{Options: tsf.Options{C: 0.6, Rg: 2000, Seed: 35}},
+		&LinSimT{Options: linsim.Options{C: 0.6, DSamples: 300, Seed: 36}},
+	}
+}
+
+// TestEnginesAgreeWithGroundTruth runs every engine on the same small
+// temporal workload and measures result-set precision against the
+// per-snapshot Power Method (the paper's Fig 6 protocol). All engines
+// must achieve reasonable precision; CrashSim-T must not be the worst by
+// a wide margin.
+func TestEnginesAgreeWithGroundTruth(t *testing.T) {
+	tg := smallTemporal(t, 30, 90, 4, 41)
+	u := graph.NodeID(0)
+	q := Threshold{Theta: 0.05}
+
+	truthEngine := &PowerT{Options: exact.PowerOptions{C: 0.6}}
+	truth, err := truthEngine.Run(tg, u, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range engines() {
+		got, err := e.Run(tg, u, q)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		p := metrics.Precision(truth, got)
+		if p < 0.6 {
+			t.Errorf("%s: precision %.2f below 0.6 (truth %v, got %v)", e.Name(), p, truth, got)
+		}
+	}
+}
+
+func TestTrendQueryAcrossEngines(t *testing.T) {
+	tg := smallTemporal(t, 25, 70, 3, 43)
+	u := graph.NodeID(1)
+	q := Trend{Direction: Increasing, Slack: 0.05}
+	truth, err := (&PowerT{Options: exact.PowerOptions{C: 0.6}}).Run(tg, u, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &CrashSimT{Params: core.Params{C: 0.6, Iterations: 800, Seed: 44}}
+	got, err := cs.Run(tg, u, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := metrics.Precision(truth, got); p < 0.6 {
+		t.Errorf("crashsim-t trend precision %.2f below 0.6", p)
+	}
+	if cs.LastStats.Snapshots != 3 {
+		t.Errorf("LastStats.Snapshots = %d, want 3", cs.LastStats.Snapshots)
+	}
+}
+
+func TestRunPerSnapshotValidation(t *testing.T) {
+	tg := smallTemporal(t, 10, 20, 2, 45)
+	e := &ProbeSimT{Options: probesim.Options{Iterations: 10}}
+	if _, err := e.Run(tg, 99, Threshold{Theta: 0.1}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := e.Run(tg, 0, nil); err == nil {
+		t.Error("nil query accepted")
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	want := map[string]Engine{
+		"crashsim-t":   &CrashSimT{},
+		"probesim":     &ProbeSimT{},
+		"sling":        &SLINGT{},
+		"reads":        &READST{},
+		"tsf":          &TSFT{},
+		"linsim":       &LinSimT{},
+		"power-method": &PowerT{},
+	}
+	for name, e := range want {
+		if e.Name() != name {
+			t.Errorf("Name() = %q, want %q", e.Name(), name)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Increasing.String() != "increasing" || Decreasing.String() != "decreasing" {
+		t.Error("direction strings wrong")
+	}
+}

@@ -1,0 +1,115 @@
+// Package textplot renders small multi-series line charts as text, so
+// the repro harness can show the *shape* of a figure (who grows how
+// fast, where lines cross) directly in terminal output next to the raw
+// numbers.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// markers distinguishes series; more series than markers wrap around.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the series over the shared x values into a
+// width×height character grid with a y-axis scale and a legend. All
+// series must have len(xs) points; invalid input yields an error
+// string rather than a panic, since charts are cosmetic.
+func Chart(xs []int, series []Series, width, height int) string {
+	if len(xs) < 2 || len(series) == 0 || width < 8 || height < 3 {
+		return "(chart unavailable: need >=2 points, >=1 series, sane dimensions)\n"
+	}
+	maxY := 0.0
+	for _, s := range series {
+		if len(s.Ys) != len(xs) {
+			return fmt.Sprintf("(chart unavailable: series %q has %d points, want %d)\n", s.Name, len(s.Ys), len(xs))
+		}
+		for _, y := range s.Ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) || y < 0 {
+				return fmt.Sprintf("(chart unavailable: series %q has invalid value)\n", s.Name)
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	minX, maxX := xs[0], xs[0]
+	for _, x := range xs {
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	col := func(x int) int {
+		return int(math.Round(float64(x-minX) / float64(maxX-minX) * float64(width-1)))
+	}
+	row := func(y float64) int {
+		r := height - 1 - int(math.Round(y/maxY*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i, y := range s.Ys {
+			grid[row(y)][col(xs[i])] = mark
+		}
+	}
+
+	var b strings.Builder
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3g ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.3g ", 0.0)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteString("\n")
+	}
+	b.WriteString("        +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	b.WriteString(fmt.Sprintf("        %-d%s%d\n", minX, strings.Repeat(" ", max(1, width-lenInt(minX)-lenInt(maxX))), maxX))
+	for si, s := range series {
+		b.WriteString(fmt.Sprintf("        %c %s\n", markers[si%len(markers)], s.Name))
+	}
+	return b.String()
+}
+
+func lenInt(x int) int { return len(fmt.Sprintf("%d", x)) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out := Chart([]int{100, 200, 500, 700}, []Series{
+		{Name: "crashsim-t", Ys: []float64{0.7, 1.2, 3.1, 4.3}},
+		{Name: "probesim", Ys: []float64{2.8, 5.4, 12.6, 19.1}},
+	}, 40, 10)
+	if !strings.Contains(out, "crashsim-t") || !strings.Contains(out, "probesim") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// height rows + axis + x labels + 2 legend lines.
+	if len(lines) != 10+2+2 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// The larger series' final point must render above (smaller row
+	// index than) the smaller series' final point.
+	rowOf := func(mark byte) int {
+		for r, line := range lines[:10] {
+			if strings.IndexByte(line, mark) >= 0 && strings.LastIndexByte(line, mark) == len(line)-1 {
+				return r
+			}
+		}
+		return -1
+	}
+	rStar, rO := rowOf('*'), rowOf('o')
+	if rStar < 0 || rO < 0 || rO >= rStar {
+		t.Errorf("series vertical order wrong (star row %d, o row %d):\n%s", rStar, rO, out)
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs     []int
+		series []Series
+	}{
+		{"one point", []int{1}, []Series{{Name: "a", Ys: []float64{1}}}},
+		{"no series", []int{1, 2}, nil},
+		{"length mismatch", []int{1, 2}, []Series{{Name: "a", Ys: []float64{1}}}},
+		{"nan", []int{1, 2}, []Series{{Name: "a", Ys: []float64{1, math.NaN()}}}},
+		{"negative", []int{1, 2}, []Series{{Name: "a", Ys: []float64{1, -1}}}},
+	}
+	for _, tc := range cases {
+		out := Chart(tc.xs, tc.series, 40, 10)
+		if !strings.Contains(out, "chart unavailable") {
+			t.Errorf("%s: expected graceful message, got:\n%s", tc.name, out)
+		}
+	}
+	// Tiny dimensions also degrade gracefully.
+	if out := Chart([]int{1, 2}, []Series{{Name: "a", Ys: []float64{0, 1}}}, 2, 1); !strings.Contains(out, "chart unavailable") {
+		t.Errorf("tiny dimensions accepted:\n%s", out)
+	}
+}
+
+func TestChartAllZeroSeries(t *testing.T) {
+	out := Chart([]int{1, 2, 3}, []Series{{Name: "flat", Ys: []float64{0, 0, 0}}}, 30, 5)
+	if strings.Contains(out, "unavailable") {
+		t.Errorf("all-zero series should still render:\n%s", out)
+	}
+}

@@ -1,0 +1,69 @@
+package tsf
+
+import (
+	"testing"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+)
+
+func benchDiGraph(b *testing.B, n, m int) *graph.DiGraph {
+	b.Helper()
+	edges, err := gen.ChungLu(n, m, 2.0, true, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := graph.NewDiGraph(n, true)
+	for _, e := range edges {
+		if err := d.AddEdge(e.X, e.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d
+}
+
+// BenchmarkBuild measures sampling Rg one-way graphs.
+func BenchmarkBuild(b *testing.B) {
+	d := benchDiGraph(b, 2000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d, Options{Rg: 100, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuery measures one single-source query (Rg coupled paths
+// against every node).
+func BenchmarkQuery(b *testing.B) {
+	d := benchDiGraph(b, 2000, 20000)
+	ix, err := Build(d, Options{Rg: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.SingleSource(graph.NodeID(i % 2000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyEdge measures repairing parent slots after one update.
+func BenchmarkApplyEdge(b *testing.B) {
+	d := benchDiGraph(b, 2000, 20000)
+	ix, err := Build(d, Options{Rg: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := graph.Edge{X: 0, Y: 1999}
+	for ix.Graph().HasEdge(e.X, e.Y) {
+		e.Y--
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.ApplyEdge(e, i%2 == 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

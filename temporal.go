@@ -1,0 +1,140 @@
+package crashsim
+
+import (
+	"io"
+
+	"crashsim/internal/core"
+	"crashsim/internal/metrics"
+	"crashsim/internal/recommend"
+	"crashsim/internal/temporal"
+	"crashsim/internal/tempq"
+)
+
+// TemporalGraph is a sequence of snapshots over a fixed node set
+// (Definition 2 of the paper).
+type TemporalGraph = temporal.Graph
+
+// Delta is the edge difference between consecutive snapshots.
+type Delta = temporal.Delta
+
+// NewTemporalGraph builds a temporal graph from the first snapshot's
+// edges plus one delta per transition, validating the whole history.
+func NewTemporalGraph(n int, directed bool, initial []Edge, deltas []Delta) (*TemporalGraph, error) {
+	return temporal.New(n, directed, initial, deltas)
+}
+
+// FromSnapshots builds a temporal graph from fully materialized snapshot
+// edge sets, deriving the deltas.
+func FromSnapshots(n int, directed bool, snaps [][]Edge) (*TemporalGraph, error) {
+	return temporal.FromSnapshots(n, directed, snaps)
+}
+
+// LoadTemporal reads the temporal edge-list format (see
+// internal/temporal: a "# crashsim-temporal:" header followed by
+// "t op x y" lines).
+func LoadTemporal(r io.Reader) (*TemporalGraph, error) {
+	return temporal.Read(r)
+}
+
+// SaveTemporal writes tg in the format LoadTemporal reads.
+func SaveTemporal(w io.Writer, tg *TemporalGraph) error {
+	return temporal.Write(w, tg)
+}
+
+// TemporalQuery is the per-snapshot predicate of a temporal SimRank
+// query; construct one with TrendQuery or ThresholdQuery.
+type TemporalQuery = core.TemporalQuery
+
+// TrendDirection selects increasing or decreasing trend queries.
+type TrendDirection = tempq.Direction
+
+// Trend directions.
+const (
+	Increasing = tempq.Increasing
+	Decreasing = tempq.Decreasing
+)
+
+// TrendQuery builds a Temporal SimRank Trend Query (Definition 4): keep
+// nodes whose similarity to the source moves monotonically in the given
+// direction across the whole interval, within an additive slack that
+// absorbs Monte-Carlo noise (0 is the strict definition).
+func TrendQuery(dir TrendDirection, slack float64) TemporalQuery {
+	return tempq.Trend{Direction: dir, Slack: slack}
+}
+
+// ThresholdQuery builds a Temporal SimRank Thresholds Query
+// (Definition 5): keep nodes whose similarity stays at or above theta at
+// every snapshot.
+func ThresholdQuery(theta float64) TemporalQuery {
+	return tempq.Threshold{Theta: theta}
+}
+
+// BandQuery keeps nodes whose similarity stays inside [low, high] at
+// every snapshot — a stability query generalizing ThresholdQuery.
+func BandQuery(low, high float64) TemporalQuery {
+	return tempq.Band{Low: low, High: high}
+}
+
+// Recommendations is the outcome of a temporal recommendation query
+// (Example 1 of the paper): the stable similar users and the ranked
+// items their purchases suggest.
+type Recommendations = recommend.Result
+
+// RecommendForUser finds users whose similarity to the target stays at
+// or above theta over the whole history (via CrashSim-T) and ranks the
+// items that group owns which the target lacks.
+func RecommendForUser(tg *TemporalGraph, target NodeID, numUsers int, theta float64, k int, opt Options) (*Recommendations, error) {
+	return recommend.ForUser(tg, target, recommend.Options{
+		NumUsers: numUsers,
+		Theta:    theta,
+		K:        k,
+		Params:   opt.params(),
+	})
+}
+
+// DurableNode is one answer of a durable top-k query.
+type DurableNode = tempq.DurableResult
+
+// DurableTopK returns the k nodes whose minimum similarity to u across
+// the whole interval is highest — the most persistently similar nodes.
+func DurableTopK(tg *TemporalGraph, u NodeID, k int, opt Options) ([]DurableNode, error) {
+	return tempq.DurableTopK(tg, u, k, opt.params(), core.TemporalOptions{})
+}
+
+// TemporalResult is the outcome of QueryTemporal.
+type TemporalResult struct {
+	// Omega is the final candidate set, sorted by node id: every node
+	// whose score satisfied the query at every snapshot.
+	Omega []NodeID
+	// Final holds the last snapshot's scores for the surviving nodes.
+	Final Scores
+	// Stats reports how much work the pruning rules avoided.
+	Stats core.TemporalStats
+}
+
+// QueryTemporal answers a temporal SimRank query with CrashSim-T
+// (Algorithm 3): per-snapshot partial recomputation with delta and
+// difference pruning.
+func QueryTemporal(tg *TemporalGraph, u NodeID, q TemporalQuery, opt Options) (*TemporalResult, error) {
+	res, err := core.CrashSimT(tg, u, q, opt.params(), core.TemporalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &TemporalResult{Omega: res.Omega, Final: res.Final, Stats: res.Stats}, nil
+}
+
+// QueryTemporalInterval is QueryTemporal restricted to the query
+// interval [from, to) of tg's snapshots — Definition 3's [T_1, T_t].
+func QueryTemporalInterval(tg *TemporalGraph, u NodeID, q TemporalQuery, from, to int, opt Options) (*TemporalResult, error) {
+	sub, err := tg.Slice(from, to)
+	if err != nil {
+		return nil, err
+	}
+	return QueryTemporal(sub, u, q, opt)
+}
+
+// TopSimilar returns the k highest-scoring nodes of a score map,
+// excluding the source, ties broken by node id.
+func TopSimilar(s Scores, source NodeID, k int) []NodeID {
+	return metrics.TopK(s, source, k)
+}
