@@ -18,9 +18,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"crashsim"
@@ -36,7 +38,7 @@ func main() {
 		statsOnly    = flag.Bool("stats", false, "print graph statistics and exit (static only)")
 		source       = flag.Int("source", 0, "query source node")
 		pairNode     = flag.Int("pair", -1, "second node for a single-pair query (static only)")
-		algo         = flag.String("algo", "crashsim", "static algorithm: crashsim, probesim, sling, reads, exact, topk")
+		algo         = flag.String("algo", "crashsim", "static algorithm: "+strings.Join(crashsim.EstimatorNames(), ", ")+", or topk")
 		query        = flag.String("query", "threshold", "temporal query: threshold, trend, or durable")
 		theta        = flag.Float64("theta", 0.05, "threshold θ")
 		direction    = flag.String("direction", "increasing", "trend direction: increasing or decreasing")
@@ -93,55 +95,41 @@ func runStatic(graphFile, profile string, scale float64, source int, algo string
 		return err
 	}
 	u := crashsim.NodeID(source)
+	ctx := context.Background()
+	fmt.Printf("graph: n=%d m=%d directed=%t\n", g.NumNodes(), g.NumEdges(), g.Directed())
+
+	// "-algo topk" is the top-k query on the default backend; every other
+	// value dispatches through the engine registry uniformly.
+	backend := algo
+	if algo == "topk" {
+		backend = "crashsim"
+	}
+	buildStart := time.Now()
+	est, err := crashsim.NewEstimator(ctx, backend, g, opt)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(buildStart)
+
 	start := time.Now()
-	var scores crashsim.Scores
-	switch algo {
-	case "topk":
-		ranked, err := crashsim.TopK(g, u, topk, opt)
+	if algo == "topk" {
+		ranked, err := crashsim.EstimatorTopK(ctx, est, u, topk)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("graph: n=%d m=%d directed=%t\n", g.NumNodes(), g.NumEdges(), g.Directed())
-		fmt.Printf("top-%d from node %d in %v\n", topk, source, time.Since(start).Round(time.Microsecond))
+		fmt.Printf("top-%d from node %d in %v (setup %v)\n",
+			topk, source, time.Since(start).Round(time.Microsecond), buildTime.Round(time.Microsecond))
 		for rank, r := range ranked {
 			fmt.Printf("%3d. node %-8d sim=%.5f\n", rank+1, r.Node, r.Score)
 		}
 		return nil
-	case "crashsim":
-		scores, err = crashsim.SingleSource(g, u, opt)
-	case "probesim":
-		scores, err = crashsim.BaselineProbeSim(g, u, opt)
-	case "sling":
-		var ix *crashsim.SLINGIndex
-		if ix, err = crashsim.BuildSLING(g, opt); err == nil {
-			scores, err = ix.SingleSource(u)
-		}
-	case "reads":
-		var ix *crashsim.READSIndex
-		if ix, err = crashsim.BuildREADS(g, 0, opt); err == nil {
-			scores, err = ix.SingleSource(u)
-		}
-	case "exact":
-		var res interface {
-			Sim(u, v crashsim.NodeID) float64
-		}
-		res, err = crashsim.Exact(g, opt.C)
-		if err == nil {
-			scores = make(crashsim.Scores, g.NumNodes())
-			for v := 0; v < g.NumNodes(); v++ {
-				scores[crashsim.NodeID(v)] = res.Sim(u, crashsim.NodeID(v))
-			}
-		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
 	}
+	scores, err := est.SingleSource(ctx, u, nil)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-
-	fmt.Printf("graph: n=%d m=%d directed=%t\n", g.NumNodes(), g.NumEdges(), g.Directed())
-	fmt.Printf("%s single-source from node %d in %v\n", algo, source, elapsed.Round(time.Microsecond))
+	fmt.Printf("%s single-source from node %d in %v (setup %v)\n",
+		algo, source, time.Since(start).Round(time.Microsecond), buildTime.Round(time.Microsecond))
 	for rank, v := range crashsim.TopSimilar(scores, u, topk) {
 		fmt.Printf("%3d. node %-8d sim=%.5f\n", rank+1, v, scores[v])
 	}

@@ -1,24 +1,35 @@
 // Command simserver serves SimRank queries over HTTP.
 //
 //	simserver -graph wiki.txt -addr :8080
-//	simserver -profile hepth -scale 0.05 -addr :8080
+//	simserver -profile hepth -scale 0.05 -algo sling -addr :8080
 //
 //	curl 'localhost:8080/singlesource?u=3&k=10'
 //	curl 'localhost:8080/pair?u=3&v=17'
 //	curl 'localhost:8080/topk?u=3&k=10'
 //	curl 'localhost:8080/stats'
+//
+// The backend is selected with -algo (crashsim, probesim, sling, reads,
+// exact); index-based backends build their index at startup. Each query
+// runs under a per-request deadline (-timeout), and the process drains
+// in-flight requests and exits cleanly on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"crashsim"
 	"crashsim/internal/core"
+	"crashsim/internal/engine"
 	"crashsim/internal/server"
 )
 
@@ -28,10 +39,12 @@ func main() {
 		profile   = flag.String("profile", "", "generate a dataset profile instead of reading a file")
 		scale     = flag.Float64("scale", 0.05, "profile scale")
 		addr      = flag.String("addr", ":8080", "listen address")
+		algo      = flag.String("algo", "crashsim", "backend: "+strings.Join(engine.Names(), "|"))
 		eps       = flag.Float64("eps", 0.025, "error bound ε")
 		c         = flag.Float64("c", 0.6, "decay factor")
 		iters     = flag.Int("iters", 2000, "Monte-Carlo iterations (0 = theory-derived)")
 		seed      = flag.Uint64("seed", 42, "random seed")
+		timeout   = flag.Duration("timeout", server.DefaultTimeout, "per-query estimation deadline (negative disables)")
 	)
 	flag.Parse()
 
@@ -41,21 +54,43 @@ func main() {
 		os.Exit(1)
 	}
 	srv, err := server.New(server.Config{
-		Graph:  g,
-		Params: core.Params{C: *c, Eps: *eps, Iterations: *iters, Seed: *seed},
+		Graph:   g,
+		Algo:    *algo,
+		Params:  core.Params{C: *c, Eps: *eps, Iterations: *iters, Seed: *seed},
+		Timeout: *timeout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("serving SimRank queries on %s (graph: n=%d m=%d)", *addr, g.NumNodes(), g.NumEdges())
+	log.Printf("serving SimRank queries on %s (algo: %s, graph: n=%d m=%d, query timeout: %v)",
+		*addr, srv.Algo(), g.NumNodes(), g.NumEdges(), *timeout)
 	httpSrv := &http.Server{
-		Addr:         *addr,
-		Handler:      srv,
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 60 * time.Second,
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      60 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Print("shutting down, draining in-flight requests")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Print("bye")
+	}
 }
 
 func load(graphFile, profile string, scale float64, seed uint64) (*crashsim.Graph, error) {

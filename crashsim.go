@@ -27,11 +27,13 @@
 package crashsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"crashsim/internal/cluster"
 	"crashsim/internal/core"
+	"crashsim/internal/engine"
 	"crashsim/internal/exact"
 	"crashsim/internal/graph"
 	"crashsim/internal/linsim"
@@ -137,6 +139,38 @@ func TopK(g *Graph, u NodeID, k int, opt Options) ([]RankedNode, error) {
 // single-source result.
 func SinglePair(g *Graph, u, v NodeID, opt Options) (float64, error) {
 	return core.SinglePair(g, u, v, opt.params())
+}
+
+// Estimator is the unified query interface over every algorithm family
+// in the repository: context-aware single-source SimRank against one
+// fixed graph. Build one with NewEstimator; answer top-k and pair
+// queries uniformly with EstimatorTopK and EstimatorPair.
+type Estimator = engine.Estimator
+
+// EstimatorNames lists the selectable backends, sorted: "crashsim",
+// "exact", "probesim", "reads", "sling".
+func EstimatorNames() []string { return engine.Names() }
+
+// NewEstimator builds the named backend over g. Index-based backends
+// (sling, reads, exact) pay their whole index construction here,
+// honoring ctx; the returned Estimator then serves concurrent queries.
+func NewEstimator(ctx context.Context, name string, g *Graph, opt Options) (Estimator, error) {
+	return engine.New(ctx, name, g, engine.Config{
+		C: opt.C, Eps: opt.Eps, Delta: opt.Delta,
+		Iterations: opt.Iterations, Workers: opt.Workers, Seed: opt.Seed,
+	})
+}
+
+// EstimatorTopK answers a top-k query through any Estimator, natively
+// where the backend supports one and by ranking a full single-source
+// pass otherwise.
+func EstimatorTopK(ctx context.Context, est Estimator, u NodeID, k int) ([]RankedNode, error) {
+	return engine.TopK(ctx, est, u, k)
+}
+
+// EstimatorPair answers sim(u, v) through any Estimator.
+func EstimatorPair(ctx context.Context, est Estimator, u, v NodeID) (float64, error) {
+	return engine.Pair(ctx, est, u, v)
 }
 
 // Exact computes the all-pairs SimRank ground truth with the Power

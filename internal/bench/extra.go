@@ -1,29 +1,29 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"crashsim/internal/core"
+	"crashsim/internal/engine"
 	"crashsim/internal/exact"
 	"crashsim/internal/gen"
 	"crashsim/internal/graph"
 	"crashsim/internal/linsim"
-	"crashsim/internal/probesim"
 	"crashsim/internal/prsim"
-	"crashsim/internal/reads"
 	"crashsim/internal/rng"
-	"crashsim/internal/sling"
 	"crashsim/internal/tsf"
 )
 
 // Extra runs the extended single-source comparison beyond the paper's
-// Fig 5 lineup: CrashSim and the three paper baselines plus the TSF
-// one-way-graph index (related work [16]) and the classic Fogaras
-// pairwise Monte-Carlo method — on one dataset, reporting mean response
-// time (index build included for the indexed methods) and mean ME.
+// Fig 5 lineup: the four engine-dispatched paper families plus the TSF
+// one-way-graph index (related work [16]), the classic Fogaras pairwise
+// Monte-Carlo method, PRSim and the linearized solver — on one dataset,
+// reporting mean response time (index build included for the indexed
+// methods) and mean ME.
 func Extra(cfg Config) (*Report, error) {
 	cfg = cfg.WithDefaults()
+	ctx := context.Background()
 	prof, err := gen.ProfileByName("wiki-vote")
 	if err != nil {
 		return nil, err
@@ -47,36 +47,26 @@ func Extra(cfg Config) (*Report, error) {
 		name  string
 		build func() (func(u graph.NodeID) (map[graph.NodeID]float64, error), error)
 	}
+	// The paper families go through the engine registry; the extras keep
+	// their direct constructors (they are not part of the unified lineup).
+	engineAlgo := func(family string) algo {
+		return algo{family, func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
+			est, err := engine.New(ctx, family, g, cfg.familyConfig(family, n, cfg.Eps, seed))
+			if err != nil {
+				return nil, err
+			}
+			return func(u graph.NodeID) (map[graph.NodeID]float64, error) {
+				s, err := est.SingleSource(ctx, u, nil)
+				return map[graph.NodeID]float64(s), err
+			}, nil
+		}}
+	}
 	dg := diGraphOf(g)
 	algos := []algo{
-		{"crashsim", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
-			params := core.Params{C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
-				Iterations: cfg.crashIters(n, cfg.Eps), Seed: seed}
-			return func(u graph.NodeID) (map[graph.NodeID]float64, error) {
-				return core.SingleSource(g, u, nil, params)
-			}, nil
-		}},
-		{"probesim", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
-			o := probesim.Options{C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
-				Iterations: cfg.probeIters(n, cfg.Eps), Seed: seed + 1}
-			return func(u graph.NodeID) (map[graph.NodeID]float64, error) {
-				return probesim.SingleSource(g, u, o)
-			}, nil
-		}},
-		{"sling", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
-			ix, err := sling.Build(g, sling.Options{C: cfg.C, Eps: cfg.Eps, DSamples: cfg.SlingDSamples, Seed: seed + 2})
-			if err != nil {
-				return nil, err
-			}
-			return ix.SingleSource, nil
-		}},
-		{"reads", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
-			ix, err := reads.Build(dg, reads.Options{C: cfg.C, R: cfg.ReadsR, RQ: cfg.ReadsRQ, Seed: seed + 3})
-			if err != nil {
-				return nil, err
-			}
-			return ix.SingleSource, nil
-		}},
+		engineAlgo("crashsim"),
+		engineAlgo("probesim"),
+		engineAlgo("sling"),
+		engineAlgo("reads"),
 		{"tsf", func() (func(graph.NodeID) (map[graph.NodeID]float64, error), error) {
 			ix, err := tsf.Build(dg, tsf.Options{C: cfg.C, Rg: cfg.ReadsR, Seed: seed + 4})
 			if err != nil {

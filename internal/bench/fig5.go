@@ -1,18 +1,16 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"crashsim/internal/core"
+	"crashsim/internal/engine"
 	"crashsim/internal/exact"
 	"crashsim/internal/gen"
 	"crashsim/internal/graph"
 	"crashsim/internal/metrics"
-	"crashsim/internal/probesim"
-	"crashsim/internal/reads"
 	"crashsim/internal/rng"
-	"crashsim/internal/sling"
 )
 
 // Fig5Result is one measured cell of Fig 5: an algorithm's mean response
@@ -26,10 +24,12 @@ type Fig5Result struct {
 
 // Fig5 reproduces the paper's Fig 5: single-source response time and
 // maximum error ME on each static dataset for CrashSim at each ε, versus
-// ProbeSim, SLING and READS (index time included in response time, as in
-// the paper). Ground truth is the Power Method.
+// ProbeSim, SLING and READS — all dispatched through the engine registry
+// (index time included in response time, as in the paper). Ground truth
+// is the Power Method.
 func Fig5(cfg Config) ([]Fig5Result, *Report, error) {
 	cfg = cfg.WithDefaults()
+	ctx := context.Background()
 	var results []Fig5Result
 	for _, prof := range gen.Profiles() {
 		p := prof.Scaled(cfg.Scale)
@@ -49,71 +49,23 @@ func Fig5(cfg Config) ([]Fig5Result, *Report, error) {
 
 		// CrashSim at each ε.
 		for _, eps := range cfg.Epsilons {
-			params := core.Params{
-				C: cfg.C, Eps: eps, Delta: cfg.Delta,
-				Iterations: cfg.crashIters(n, eps), Seed: seed,
-			}
-			res, err := measure(p.Name, fmt.Sprintf("crashsim(eps=%g)", eps), sources, gt,
-				func(u graph.NodeID) (map[graph.NodeID]float64, error) {
-					return core.SingleSource(g, u, nil, params)
-				})
+			res, err := measureEngine(ctx, p.Name, fmt.Sprintf("crashsim(eps=%g)", eps),
+				"crashsim", g, cfg.familyConfig("crashsim", n, eps, seed), sources, gt)
 			if err != nil {
 				return nil, nil, err
 			}
 			results = append(results, res)
 		}
 
-		// ProbeSim.
-		po := probesim.Options{
-			C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
-			Iterations: cfg.probeIters(n, cfg.Eps), Seed: seed + 1,
+		// The three baseline families at the default ε.
+		for _, family := range []string{"probesim", "sling", "reads"} {
+			res, err := measureEngine(ctx, p.Name, family,
+				family, g, cfg.familyConfig(family, n, cfg.Eps, seed), sources, gt)
+			if err != nil {
+				return nil, nil, err
+			}
+			results = append(results, res)
 		}
-		res, err := measure(p.Name, "probesim", sources, gt,
-			func(u graph.NodeID) (map[graph.NodeID]float64, error) {
-				return probesim.SingleSource(g, u, po)
-			})
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
-
-		// SLING: index built once; the build time is charged to every
-		// query's response time, matching the paper's accounting.
-		buildStart := time.Now()
-		slingIx, err := sling.Build(g, sling.Options{
-			C: cfg.C, Eps: cfg.Eps, DSamples: cfg.SlingDSamples, Seed: seed + 2,
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("bench: sling build on %s: %w", p.Name, err)
-		}
-		slingBuild := time.Since(buildStart)
-		res, err = measure(p.Name, "sling", sources, gt,
-			func(u graph.NodeID) (map[graph.NodeID]float64, error) {
-				return slingIx.SingleSource(u)
-			})
-		if err != nil {
-			return nil, nil, err
-		}
-		res.MeanTime += slingBuild
-		results = append(results, res)
-
-		// READS: same accounting.
-		dg := diGraphOf(g)
-		buildStart = time.Now()
-		readsIx, err := reads.Build(dg, reads.Options{C: cfg.C, R: cfg.ReadsR, RQ: cfg.ReadsRQ, Seed: seed + 3})
-		if err != nil {
-			return nil, nil, fmt.Errorf("bench: reads build on %s: %w", p.Name, err)
-		}
-		readsBuild := time.Since(buildStart)
-		res, err = measure(p.Name, "reads", sources, gt,
-			func(u graph.NodeID) (map[graph.NodeID]float64, error) {
-				return readsIx.SingleSource(u)
-			})
-		if err != nil {
-			return nil, nil, err
-		}
-		res.MeanTime += readsBuild
-		results = append(results, res)
 	}
 
 	rep := &Report{
@@ -129,6 +81,54 @@ func Fig5(cfg Config) ([]Fig5Result, *Report, error) {
 			fmt.Sprintf("%.4f", r.MeanME))
 	}
 	return results, rep, nil
+}
+
+// familyConfig maps one paper family to its engine.Config on a graph of
+// n nodes, reproducing the per-family seeds (seed, +1, +2, +3) and
+// iteration counts the reports have always used.
+func (c Config) familyConfig(family string, n int, eps float64, seed uint64) engine.Config {
+	ec := engine.Config{C: c.C, Eps: eps, Delta: c.Delta}
+	switch family {
+	case "crashsim":
+		ec.Iterations = c.crashIters(n, eps)
+		ec.Seed = seed
+	case "probesim":
+		ec.Iterations = c.probeIters(n, eps)
+		ec.Seed = seed + 1
+	case "sling":
+		ec.SlingDSamples = c.SlingDSamples
+		ec.Seed = seed + 2
+	case "reads":
+		ec.ReadsR = c.ReadsR
+		ec.ReadsRQ = c.ReadsRQ
+		ec.Seed = seed + 3
+	default:
+		panic(fmt.Sprintf("bench: no familyConfig for %q", family))
+	}
+	return ec
+}
+
+// measureEngine builds one backend through the registry and measures it
+// over all sources, charging the build (the index, for indexed families)
+// into the mean response time — the paper's accounting.
+func measureEngine(ctx context.Context, dataset, label, family string, g *graph.Graph,
+	ec engine.Config, sources []int32, gt *exact.Result) (Fig5Result, error) {
+	buildStart := time.Now()
+	est, err := engine.New(ctx, family, g, ec)
+	if err != nil {
+		return Fig5Result{}, fmt.Errorf("bench: building %s on %s: %w", family, dataset, err)
+	}
+	build := time.Since(buildStart)
+	res, err := measure(dataset, label, sources, gt,
+		func(u graph.NodeID) (map[graph.NodeID]float64, error) {
+			s, err := est.SingleSource(ctx, u, nil)
+			return map[graph.NodeID]float64(s), err
+		})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	res.MeanTime += build
+	return res, nil
 }
 
 // measure runs one algorithm over all sources, timing each query and

@@ -1,14 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
-	"crashsim/internal/core"
+	"crashsim/internal/engine"
 	"crashsim/internal/gen"
 	"crashsim/internal/graph"
-	"crashsim/internal/probesim"
 	"crashsim/internal/rng"
 	"crashsim/internal/textplot"
 )
@@ -29,6 +29,7 @@ type ScalingResult struct {
 // n), so its curve should stay near-linear in n.
 func Scaling(cfg Config) ([]ScalingResult, *Report, error) {
 	cfg = cfg.WithDefaults()
+	ctx := context.Background()
 	prof, err := gen.ProfileByName("wiki-vote")
 	if err != nil {
 		return nil, nil, err
@@ -47,31 +48,20 @@ func Scaling(cfg Config) ([]ScalingResult, *Report, error) {
 		xs = append(xs, n)
 		sources := cfg.sources(fmt.Sprintf("scaling/%g", scale), g, cfg.Sources)
 
-		params := core.Params{
-			C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
-			Iterations: cfg.crashIters(n, cfg.Eps), Seed: seed,
+		for _, family := range []string{"crashsim", "probesim"} {
+			est, err := engine.New(ctx, family, g, cfg.familyConfig(family, n, cfg.Eps, seed))
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: building %s at scale %g: %w", family, scale, err)
+			}
+			mean, err := timeOnly(sources, func(u graph.NodeID) error {
+				_, err := est.SingleSource(ctx, u, nil)
+				return err
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			results = append(results, ScalingResult{family, n, g.NumEdges(), mean})
 		}
-		crashTime, err := timeOnly(sources, func(u graph.NodeID) error {
-			_, err := core.SingleSource(g, u, nil, params)
-			return err
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, ScalingResult{"crashsim", n, g.NumEdges(), crashTime})
-
-		po := probesim.Options{
-			C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
-			Iterations: cfg.probeIters(n, cfg.Eps), Seed: seed + 1,
-		}
-		probeTime, err := timeOnly(sources, func(u graph.NodeID) error {
-			_, err := probesim.SingleSource(g, u, po)
-			return err
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, ScalingResult{"probesim", n, g.NumEdges(), probeTime})
 	}
 
 	rep := &Report{

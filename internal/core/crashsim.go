@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -12,6 +13,11 @@ import (
 // Scores maps candidate nodes to their SimRank estimate with respect to
 // the query source.
 type Scores map[graph.NodeID]float64
+
+// ctxCheckInterval is how many Monte-Carlo iterations run between
+// cancellation checks inside a single candidate's sampling loop; a
+// power of two so the check compiles to a mask test.
+const ctxCheckInterval = 1024
 
 // SampleWalk appends to buf a truncated √c-walk starting at v: at every
 // step the walk stops with probability 1−√c, otherwise it moves to a
@@ -42,11 +48,29 @@ func SampleWalk(g adjacency, v graph.NodeID, c float64, maxSteps int, r *rng.Sou
 // satisfies |s(u,v) − sim(u,v)| ≤ ε with probability ≥ 1−δ per node
 // (Theorem 1).
 func SingleSource(g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params) (Scores, error) {
+	return SingleSourceCtx(context.Background(), g, u, omega, p)
+}
+
+// SingleSourceCtx is SingleSource with cancellation: the Monte-Carlo
+// loop checks ctx between candidates and every ctxCheckInterval
+// iterations within a candidate, so a deadline or client disconnect
+// stops CPU work promptly and returns ctx.Err(). Results for a given
+// seed are identical to SingleSource.
+func SingleSourceCtx(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params) (Scores, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tree, q, err := prepare(g, u, p)
 	if err != nil {
 		return nil, err
 	}
-	return estimate(g, u, omega, q, tree)
+	// The tree is owned by this query alone, so its level storage can go
+	// back to the pool once the estimate is done.
+	defer releaseTree(tree, !q.DisablePooling)
+	return estimate(ctx, g, u, omega, q, tree)
 }
 
 // SingleSourceWithTree is SingleSource with a caller-provided reverse
@@ -64,7 +88,7 @@ func SingleSourceWithTree(g *graph.Graph, u graph.NodeID, omega []graph.NodeID, 
 	if tree == nil || tree.Source != u || tree.Lmax != q.Lmax {
 		return nil, fmt.Errorf("core: provided tree does not match source %d with lmax %d", u, q.Lmax)
 	}
-	return estimate(g, u, omega, q, tree)
+	return estimate(context.Background(), g, u, omega, q, tree)
 }
 
 // BuildTree builds the reverse reachable tree CrashSim would use for a
@@ -108,13 +132,21 @@ func checkSource(g *graph.Graph, u graph.NodeID) error {
 // candidates can be processed independently and in parallel; every
 // candidate draws from its own random stream, which makes results
 // invariant to the worker count and to the composition of omega.
-func estimate(g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params, tree *ReachTree) (Scores, error) {
+//
+// Scores accumulate in a pooled dense array indexed by node (workers
+// write disjoint entries, so no locking is needed) and convert to the
+// public Scores map only at the end.
+func estimate(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params, tree *ReachTree) (Scores, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.NumNodes()
+	pooled := !p.DisablePooling
+	sc := acquireScratch(n, pooled)
+	defer sc.release(pooled)
+
 	if omega == nil {
-		omega = make([]graph.NodeID, n)
-		for v := range omega {
-			omega[v] = graph.NodeID(v)
-		}
+		omega = sc.identity(n)
 	}
 	for _, v := range omega {
 		if v < 0 || int(v) >= n {
@@ -126,10 +158,7 @@ func estimate(g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params, tr
 		return nil, fmt.Errorf("core: derived iteration count %d < 1", nr)
 	}
 
-	scores := make(Scores, len(omega))
-	for _, v := range omega {
-		scores[v] = 0
-	}
+	dense := sc.dense
 
 	// Zero-score prefilter: a candidate's walk can only crash into the
 	// source tree if the candidate is forward-reachable (via out-edges)
@@ -137,61 +166,79 @@ func estimate(g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params, tr
 	// scores 0, so it is excluded before any sampling — on graphs with
 	// small reverse neighborhoods (e.g. citation graphs with many
 	// uncited papers) this removes most of the work.
+	live := omega
 	if !p.DisablePrefilter {
 		reach := forwardReach(g, tree.Nodes(), p.Lmax)
-		live := omega[:0:0]
+		live = sc.live[:0]
 		for _, v := range omega {
 			if _, ok := reach[v]; ok && g.InDegree(v) > 0 {
 				live = append(live, v)
 			} else if v == u {
-				scores[v] = 1
+				dense[v] = 1
 			}
 		}
-		omega = live
+		sc.live = live
 	}
 
 	workers := p.Workers
-	if workers > len(omega) {
-		workers = len(omega)
+	if workers > len(live) {
+		workers = len(live)
 	}
 	if workers <= 1 {
-		for _, v := range omega {
-			scores[v] = estimateCandidate(g, u, v, p, tree, nr)
+		walk := sc.walk
+		for _, v := range live {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			var s float64
+			var err error
+			s, walk, err = estimateCandidate(ctx, g, u, v, p, tree, nr, walk)
+			if err != nil {
+				sc.walk = walk
+				return nil, err
+			}
+			dense[v] = s
 		}
-		return scores, nil
+		sc.walk = walk
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(live) + workers - 1) / workers
+		for lo := 0; lo < len(live); lo += chunk {
+			hi := lo + chunk
+			if hi > len(live) {
+				hi = len(live)
+			}
+			wg.Add(1)
+			go func(part []graph.NodeID) {
+				defer wg.Done()
+				wb := acquireWalk(pooled)
+				defer releaseWalk(wb, pooled)
+				walk := *wb
+				for _, v := range part {
+					if ctx.Err() != nil {
+						break
+					}
+					var s float64
+					var err error
+					s, walk, err = estimateCandidate(ctx, g, u, v, p, tree, nr, walk)
+					if err != nil {
+						break // only ctx errors escape; reported below
+					}
+					dense[v] = s
+				}
+				*wb = walk
+			}(live[lo:hi])
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
-	var (
-		mu   sync.Mutex
-		wg   sync.WaitGroup
-		next int
-	)
-	chunk := (len(omega) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := next
-		hi := lo + chunk
-		if hi > len(omega) {
-			hi = len(omega)
-		}
-		next = hi
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(part []graph.NodeID) {
-			defer wg.Done()
-			local := make(Scores, len(part))
-			for _, v := range part {
-				local[v] = estimateCandidate(g, u, v, p, tree, nr)
-			}
-			mu.Lock()
-			for v, s := range local {
-				scores[v] = s
-			}
-			mu.Unlock()
-		}(omega[lo:hi])
+	scores := make(Scores, len(omega))
+	for _, v := range omega {
+		scores[v] = dense[v]
 	}
-	wg.Wait()
 	return scores, nil
 }
 
@@ -223,20 +270,25 @@ func forwardReach(g *graph.Graph, sources []graph.NodeID, depth int) map[graph.N
 }
 
 // estimateCandidate runs the n_r walks for one candidate and returns the
-// averaged crash probability.
-func estimateCandidate(g *graph.Graph, u, v graph.NodeID, p Params, tree *ReachTree, nr int) float64 {
+// averaged crash probability together with the (possibly grown) walk
+// buffer. The only error it can return is ctx.Err().
+func estimateCandidate(ctx context.Context, g *graph.Graph, u, v graph.NodeID, p Params, tree *ReachTree, nr int, walk []graph.NodeID) (float64, []graph.NodeID, error) {
 	if v == u {
-		return 1 // sim(u,u) = 1 by definition
+		return 1, walk, nil // sim(u,u) = 1 by definition
 	}
 	r := rng.Split(p.Seed, uint64(v))
 	sc := math.Sqrt(p.C)
-	var walk []graph.NodeID
 	sum := 0.0
 	for k := 0; k < nr; k++ {
+		if k&(ctxCheckInterval-1) == ctxCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return 0, walk, err
+			}
+		}
 		walk = SampleWalk(g, v, p.C, p.Lmax, r, walk)
 		sum += walkContribution(g, walk, tree, p.Meeting, sc)
 	}
-	return sum / float64(nr)
+	return sum / float64(nr), walk, nil
 }
 
 // walkContribution scores one sampled candidate walk against the source

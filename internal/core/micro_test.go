@@ -165,6 +165,29 @@ func BenchmarkSingleSource(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleSourceReuse contrasts steady-state allocations with the
+// query-scratch pool on (the default) and off: run with -benchmem to see
+// allocs/op drop in the pooled case.
+func BenchmarkSingleSourceReuse(b *testing.B) {
+	g := benchGraph(b, 2000, 20000)
+	for _, bc := range []struct {
+		name   string
+		params Params
+	}{
+		{"pooled", Params{Iterations: 200, Seed: 1}},
+		{"nopool", Params{Iterations: 200, Seed: 1, DisablePooling: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SingleSource(g, graph.NodeID(i%2000), nil, bc.params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSingleSourceParallel(b *testing.B) {
 	g := benchGraph(b, 2000, 20000)
 	p := Params{Iterations: 200, Seed: 1, Workers: 4}

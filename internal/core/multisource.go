@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -13,6 +14,16 @@ import (
 // running SingleSource per source — including the per-candidate random
 // streams, so batch and individual runs agree bit-for-bit.
 func MultiSource(g *graph.Graph, sources []graph.NodeID, p Params) (map[graph.NodeID]Scores, error) {
+	return MultiSourceCtx(context.Background(), g, sources, p)
+}
+
+// MultiSourceCtx is MultiSource with cancellation: no new source starts
+// after ctx is done, and in-flight per-source estimates abort through
+// SingleSourceCtx's own checks.
+func MultiSourceCtx(ctx context.Context, g *graph.Graph, sources []graph.NodeID, p Params) (map[graph.NodeID]Scores, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	q := p.withDefaults()
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -36,7 +47,7 @@ func MultiSource(g *graph.Graph, sources []graph.NodeID, p Params) (map[graph.No
 	}
 	if workers <= 1 {
 		for _, u := range sources {
-			s, err := SingleSource(g, u, nil, perSource)
+			s, err := SingleSourceCtx(ctx, g, u, nil, perSource)
 			if err != nil {
 				return nil, err
 			}
@@ -65,7 +76,7 @@ func MultiSource(g *graph.Graph, sources []graph.NodeID, p Params) (map[graph.No
 				next++
 				mu.Unlock()
 
-				s, err := SingleSource(g, u, nil, perSource)
+				s, err := SingleSourceCtx(ctx, g, u, nil, perSource)
 
 				mu.Lock()
 				if err != nil {

@@ -154,16 +154,15 @@ type adjacency interface {
 // neighborhood in practice.
 func RevReach(g adjacency, u graph.NodeID, c float64, lmax int, rule TransitionRule) *ReachTree {
 	sc := math.Sqrt(c)
-	t := &ReachTree{
-		Source: u,
-		Lmax:   lmax,
-		levels: make([]map[graph.NodeID]float64, lmax+1),
-	}
-	t.levels[0] = map[graph.NodeID]float64{u: 1}
+	// Level maps come from the scratch pool: SingleSourceCtx releases
+	// the tree after its estimate, so repeated queries reuse the maps'
+	// bucket storage instead of regrowing it level by level.
+	t := acquireTree(u, lmax)
+	t.levels[0][u] = 1
 	var order []graph.NodeID
 	for step := 0; step < lmax; step++ {
 		cur := t.levels[step]
-		next := make(map[graph.NodeID]float64, len(cur)*2)
+		next := t.levels[step+1]
 		order = order[:0]
 		for x := range cur {
 			order = append(order, x)
@@ -191,7 +190,6 @@ func RevReach(g adjacency, u graph.NodeID, c float64, lmax int, rule TransitionR
 				}
 			}
 		}
-		t.levels[step+1] = next
 	}
 	return t
 }

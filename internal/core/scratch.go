@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+
+	"crashsim/internal/graph"
+)
+
+// Query scratch pooling. A single-source query needs a dense score
+// array of length n, a candidate list of up to n node ids, a walk
+// buffer per worker, and the level maps of the reverse reachable tree.
+// Under steady-state service traffic these dominate per-query
+// allocations, so they are recycled through sync.Pools. Pooling is
+// semantically invisible: every buffer is (re)initialized on acquire,
+// and the determinism tests assert bit-identical Scores with pooling
+// enabled, disabled, and across worker counts.
+
+// scratch bundles the per-query buffers of estimate.
+type scratch struct {
+	dense []float64      // per-node accumulated scores, zeroed on acquire
+	omega []graph.NodeID // identity candidate list when the caller passes nil
+	live  []graph.NodeID // prefilter survivors
+	walk  []graph.NodeID // walk buffer for the sequential path
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// acquireScratch returns a scratch whose dense array has length n and
+// is zeroed. With pooling disabled it simply allocates fresh buffers.
+func acquireScratch(n int, pooled bool) *scratch {
+	var s *scratch
+	if pooled {
+		s = scratchPool.Get().(*scratch)
+	} else {
+		s = new(scratch)
+	}
+	if cap(s.dense) < n {
+		s.dense = make([]float64, n)
+	} else {
+		s.dense = s.dense[:n]
+		clear(s.dense)
+	}
+	return s
+}
+
+// release returns the scratch to the pool (no-op when pooling is off).
+func (s *scratch) release(pooled bool) {
+	if !pooled {
+		return
+	}
+	scratchPool.Put(s)
+}
+
+// identity fills and returns the all-nodes candidate list [0, n).
+func (s *scratch) identity(n int) []graph.NodeID {
+	if cap(s.omega) < n {
+		s.omega = make([]graph.NodeID, n)
+	}
+	s.omega = s.omega[:n]
+	for v := range s.omega {
+		s.omega[v] = graph.NodeID(v)
+	}
+	return s.omega
+}
+
+// walkPool recycles the per-worker walk buffers of the parallel
+// estimate path (the sequential path uses scratch.walk).
+var walkPool = sync.Pool{New: func() any { return new([]graph.NodeID) }}
+
+func acquireWalk(pooled bool) *[]graph.NodeID {
+	if pooled {
+		return walkPool.Get().(*[]graph.NodeID)
+	}
+	return new([]graph.NodeID)
+}
+
+func releaseWalk(w *[]graph.NodeID, pooled bool) {
+	if pooled {
+		walkPool.Put(w)
+	}
+}
+
+// treePool recycles ReachTree level storage. Trees returned by the
+// public BuildTree/RevReach API may be retained indefinitely by callers
+// (CrashSim-T stores them across snapshots), so nothing is pooled
+// automatically: only SingleSourceCtx, which fully owns the tree it
+// builds, releases it after the estimate.
+var treePool = sync.Pool{New: func() any { return new(ReachTree) }}
+
+// acquireTree returns a ReachTree with lmax+1 empty level maps, reusing
+// pooled map storage (cleared maps keep their buckets, so warm queries
+// skip most of the rehash-growth cost of the level DP).
+func acquireTree(u graph.NodeID, lmax int) *ReachTree {
+	t := treePool.Get().(*ReachTree)
+	t.Source = u
+	t.Lmax = lmax
+	if cap(t.levels) < lmax+1 {
+		old := t.levels[:cap(t.levels)]
+		t.levels = make([]map[graph.NodeID]float64, lmax+1)
+		copy(t.levels, old)
+	} else {
+		t.levels = t.levels[:lmax+1]
+	}
+	for i := range t.levels {
+		if t.levels[i] == nil {
+			t.levels[i] = make(map[graph.NodeID]float64)
+		}
+	}
+	return t
+}
+
+// releaseTree clears t's level maps and returns the storage to the
+// pool. The caller must not use t afterwards.
+func releaseTree(t *ReachTree, pooled bool) {
+	if !pooled || t == nil {
+		return
+	}
+	for i := range t.levels {
+		clear(t.levels[i])
+	}
+	treePool.Put(t)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -15,6 +16,12 @@ type TopKResult struct {
 
 // TopK answers the top-k single-source SimRank query: the k nodes most
 // similar to u (excluding u itself), with their estimated scores.
+func TopK(g *graph.Graph, u graph.NodeID, k int, p Params) ([]TopKResult, error) {
+	return TopKCtx(context.Background(), g, u, k, p)
+}
+
+// TopKCtx is TopK with cancellation, forwarded to both estimator
+// passes.
 //
 // It exploits CrashSim's partial-computation mode in two phases: a
 // coarse pass over all nodes with a reduced iteration budget shortlists
@@ -23,7 +30,7 @@ type TopKResult struct {
 // node within 2ε of the coarse k-th score, so a node is excluded only if
 // both its coarse and refined scores would have to err by more than ε —
 // the same per-node confidence Theorem 1 gives the plain estimator.
-func TopK(g *graph.Graph, u graph.NodeID, k int, p Params) ([]TopKResult, error) {
+func TopKCtx(ctx context.Context, g *graph.Graph, u graph.NodeID, k int, p Params) ([]TopKResult, error) {
 	q := p.withDefaults()
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -40,7 +47,7 @@ func TopK(g *graph.Graph, u graph.NodeID, k int, p Params) ([]TopKResult, error)
 	if coarse.Iterations < 50 {
 		coarse.Iterations = minInt(50, nr)
 	}
-	scores, err := SingleSource(g, u, nil, coarse)
+	scores, err := SingleSourceCtx(ctx, g, u, nil, coarse)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +69,7 @@ func TopK(g *graph.Graph, u graph.NodeID, k int, p Params) ([]TopKResult, error)
 	}
 	refined := q
 	refined.Iterations = nr
-	rescored, err := SingleSource(g, u, omega, refined)
+	rescored, err := SingleSourceCtx(ctx, g, u, omega, refined)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +82,12 @@ func TopK(g *graph.Graph, u graph.NodeID, k int, p Params) ([]TopKResult, error)
 
 // SinglePair estimates sim(u, v) with CrashSim's partial mode.
 func SinglePair(g *graph.Graph, u, v graph.NodeID, p Params) (float64, error) {
-	s, err := SingleSource(g, u, []graph.NodeID{v}, p)
+	return SinglePairCtx(context.Background(), g, u, v, p)
+}
+
+// SinglePairCtx is SinglePair with cancellation.
+func SinglePairCtx(ctx context.Context, g *graph.Graph, u, v graph.NodeID, p Params) (float64, error) {
+	s, err := SingleSourceCtx(ctx, g, u, []graph.NodeID{v}, p)
 	if err != nil {
 		return 0, err
 	}

@@ -6,6 +6,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 
 	"crashsim/internal/graph"
@@ -78,6 +79,17 @@ func (r *Result) NumNodes() int { return r.n }
 // iteration S ← c·PᵀSP with the diagonal reset to 1 each round, where P
 // is the in-neighbor averaging operator. Each iteration costs O(n·m).
 func PowerMethod(g *graph.Graph, opt PowerOptions) (*Result, error) {
+	return PowerMethodCtx(context.Background(), g, opt)
+}
+
+// PowerMethodCtx is PowerMethod with cancellation: the per-row fan-outs
+// stop handing out rows once ctx is done and the call returns ctx.Err(),
+// so an abandoned ground-truth computation does not burn the remaining
+// O(iterations · n · m) work.
+func PowerMethodCtx(ctx context.Context, g *graph.Graph, opt PowerOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt.setDefaults()
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -92,7 +104,7 @@ func PowerMethod(g *graph.Graph, opt PowerOptions) (*Result, error) {
 	for it := 0; it < opt.Iterations; it++ {
 		// tmp = S · P, i.e. tmp[x][v] = (1/|I(v)|) Σ_{y∈I(v)} S[x][y].
 		// Rows of tmp are independent, so the loop fans out by row.
-		par.ForEach(n, opt.Workers, func(x int) {
+		err := par.ForEachCtx(ctx, n, opt.Workers, func(x int) {
 			row := tmp[x*n : (x+1)*n]
 			src := s[x*n : (x+1)*n]
 			for v := 0; v < n; v++ {
@@ -108,8 +120,11 @@ func PowerMethod(g *graph.Graph, opt PowerOptions) (*Result, error) {
 				row[v] = sum / float64(len(in))
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 		// next = c · Pᵀ · tmp, i.e. next[u][v] = (c/|I(u)|) Σ_{x∈I(u)} tmp[x][v].
-		par.ForEach(n, opt.Workers, func(u int) {
+		err = par.ForEachCtx(ctx, n, opt.Workers, func(u int) {
 			row := next[u*n : (u+1)*n]
 			clear(row)
 			in := g.In(graph.NodeID(u))
@@ -124,6 +139,9 @@ func PowerMethod(g *graph.Graph, opt PowerOptions) (*Result, error) {
 				}
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 		for v := 0; v < n; v++ {
 			next[v*n+v] = 1
 		}

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -14,11 +15,26 @@ import (
 // goroutines; workers <= 1 runs inline. It returns when all calls have
 // finished.
 func ForEach(n, workers int, fn func(int)) {
+	_ = ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: it checks ctx between work
+// items and stops handing out new indices once ctx is done, returning
+// ctx.Err(). Work items already started run to completion, so fn never
+// observes a torn loop; callers must treat a non-nil error as "results
+// incomplete". A nil ctx means context.Background().
+func ForEachCtx(ctx context.Context, n, workers int, fn func(int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
@@ -29,7 +45,7 @@ func ForEach(n, workers int, fn func(int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -39,4 +55,5 @@ func ForEach(n, workers int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

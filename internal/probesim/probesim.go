@@ -11,8 +11,10 @@
 package probesim
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"slices"
 
 	"crashsim/internal/graph"
 	"crashsim/internal/rng"
@@ -95,6 +97,17 @@ func (o Options) iterations(n int) int {
 // SingleSource estimates sim(u, v) for every node v. The score of u
 // itself is 1 by definition.
 func SingleSource(g *graph.Graph, u graph.NodeID, opt Options) (map[graph.NodeID]float64, error) {
+	return SingleSourceCtx(context.Background(), g, u, opt)
+}
+
+// SingleSourceCtx is SingleSource with cancellation: the Monte-Carlo
+// loop checks ctx between iterations (each iteration is one sampled
+// source walk plus its probes), so a deadline or client disconnect
+// stops CPU work promptly and returns ctx.Err().
+func SingleSourceCtx(ctx context.Context, g *graph.Graph, u graph.NodeID, opt Options) (map[graph.NodeID]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := opt.withDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -103,18 +116,27 @@ func SingleSource(g *graph.Graph, u graph.NodeID, opt Options) (map[graph.NodeID
 	if u < 0 || int(u) >= n {
 		return nil, fmt.Errorf("probesim: source %d out of range for n=%d", u, n)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nr := o.iterations(n)
 	r := rng.New(o.Seed)
 	sc := math.Sqrt(o.C)
 
 	scores := make(map[graph.NodeID]float64, n)
 	var walk []graph.NodeID
+	var order []graph.NodeID
 	cur := make(map[graph.NodeID]float64)
 	next := make(map[graph.NodeID]float64)
 	for k := 0; k < nr; k++ {
+		if k&63 == 63 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		walk = sampleWalk(g, u, sc, o.MaxDepth, r, walk)
 		for i := 1; i < len(walk); i++ {
-			probe(g, walk, i, sc, o.PruneThreshold, cur, next, scores)
+			order = probe(g, walk, i, sc, o.PruneThreshold, cur, next, order, scores)
 		}
 	}
 	inv := 1 / float64(nr)
@@ -127,15 +149,24 @@ func SingleSource(g *graph.Graph, u graph.NodeID, opt Options) (map[graph.NodeID
 
 // probe accumulates, for every node v, the probability that a √c-walk
 // from v is at walk[i] after i steps without having been at walk[j]
-// after j steps for any 1 <= j < i (the first-meeting exclusion). cur
-// and next are scratch maps reused across calls.
+// after j steps for any 1 <= j < i (the first-meeting exclusion). cur,
+// next and order are scratch reused across calls; the frontier is
+// expanded in sorted node order so the floating-point sums in next are
+// bit-identical run to run (Go's map iteration order is randomized).
 func probe(g *graph.Graph, walk []graph.NodeID, i int, sc, prune float64,
-	cur, next map[graph.NodeID]float64, scores map[graph.NodeID]float64) {
+	cur, next map[graph.NodeID]float64, order []graph.NodeID,
+	scores map[graph.NodeID]float64) []graph.NodeID {
 	clear(cur)
 	cur[walk[i]] = 1
 	for t := i; t >= 1; t-- {
 		clear(next)
-		for x, px := range cur {
+		order = order[:0]
+		for x := range cur {
+			order = append(order, x)
+		}
+		slices.Sort(order)
+		for _, x := range order {
+			px := cur[x]
 			for _, y := range g.Out(x) {
 				// A reverse walk from y moves to x (an in-neighbor of
 				// y) with probability √c/|I(y)|.
@@ -160,6 +191,7 @@ func probe(g *graph.Graph, walk []graph.NodeID, i int, sc, prune float64,
 	// and next were swapped an odd or even number of times, so clear both.
 	clear(cur)
 	clear(next)
+	return order
 }
 
 func sampleWalk(g *graph.Graph, v graph.NodeID, sc float64, maxSteps int, r *rng.Source, buf []graph.NodeID) []graph.NodeID {

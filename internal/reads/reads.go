@@ -18,6 +18,7 @@
 package reads
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -92,6 +93,16 @@ type Index struct {
 // Build generates the r walks per node on a private copy of g's current
 // state.
 func Build(g *graph.DiGraph, opt Options) (*Index, error) {
+	return BuildCtx(context.Background(), g, opt)
+}
+
+// BuildCtx is Build with cancellation, checked once per stored sample
+// (each sample is n walks), so an abandoned construction stops within
+// one sweep over the nodes.
+func BuildCtx(ctx context.Context, g *graph.DiGraph, opt Options) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := opt.withDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -105,6 +116,9 @@ func Build(g *graph.DiGraph, opt Options) (*Index, error) {
 	}
 	n := ix.g.NumNodes()
 	for k := 0; k < o.R; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ix.walks[k] = make([][]graph.NodeID, n)
 		ix.inv[k] = make(map[posKey][]graph.NodeID, n)
 		for v := 0; v < n; v++ {
@@ -212,15 +226,32 @@ func (ix *Index) ApplyDelta(add, del []graph.Edge) error {
 // contribute one count; counts are averaged over the r stored samples
 // plus the RQ fresh source walks.
 func (ix *Index) SingleSource(u graph.NodeID) (map[graph.NodeID]float64, error) {
+	return ix.SingleSourceCtx(context.Background(), u)
+}
+
+// SingleSourceCtx is SingleSource with cancellation, checked between
+// stored samples.
+func (ix *Index) SingleSourceCtx(ctx context.Context, u graph.NodeID) (map[graph.NodeID]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := ix.g.NumNodes()
 	if u < 0 || int(u) >= n {
 		return nil, fmt.Errorf("reads: source %d out of range for n=%d", u, n)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	scores := make(map[graph.NodeID]float64, 64)
 	met := make(map[graph.NodeID]struct{}, 64)
 	samples := ix.opt.R + ix.opt.RQ
 	inc := 1 / float64(samples)
 	for k := 0; k < ix.opt.R; k++ {
+		if k&31 == 31 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ix.accumulate(k, ix.walks[k][u], u, inc, met, scores)
 	}
 	// r_q refinement: fresh source walks matched against stored index

@@ -1,51 +1,77 @@
 // Package server exposes SimRank queries over HTTP with a small JSON
 // API, turning the library into a queryable service:
 //
-//	GET /health              -> {"status":"ok"}
+//	GET /health              -> {"status":"ok","algo":"crashsim"}
 //	GET /stats               -> graph statistics
 //	GET /singlesource?u=3&k=10
 //	GET /pair?u=3&v=17
 //	GET /topk?u=3&k=10
 //
-// The server owns one immutable graph; queries are read-only and safe
-// to serve concurrently. All estimator parameters are fixed at
-// construction so results are reproducible across requests.
+// The server owns one immutable graph and one engine.Estimator built at
+// construction (index-based backends pay their build exactly once);
+// queries are read-only and safe to serve concurrently. All estimator
+// parameters are fixed at construction so results are reproducible
+// across requests. Every query runs under the request context plus a
+// configurable per-request timeout; an aborted estimate returns 503.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"crashsim/internal/core"
+	"crashsim/internal/engine"
 	"crashsim/internal/graph"
 	"crashsim/internal/metrics"
 )
 
+// DefaultTimeout is the per-request estimation budget when
+// Config.Timeout is zero.
+const DefaultTimeout = 30 * time.Second
+
 // Config fixes the served graph and estimator parameters.
 type Config struct {
-	Graph  *graph.Graph
+	Graph *graph.Graph
+	// Algo selects the engine backend by name (see engine.Names).
+	// Default "crashsim". Index-based backends build their index inside
+	// New.
+	Algo string
+	// Params carries the estimator parameters shared by every backend
+	// (c, ε, δ, iterations, workers, seed).
 	Params core.Params
 	// DefaultK bounds result lists when the request omits k. Default 10.
 	DefaultK int
 	// MaxK caps requested result lengths. Default 1000.
 	MaxK int
+	// Timeout bounds each query's estimation time. Zero means
+	// DefaultTimeout; negative disables the per-request deadline (the
+	// request context still cancels on client disconnect).
+	Timeout time.Duration
 }
 
 // Server is an http.Handler answering SimRank queries.
 type Server struct {
 	cfg Config
+	est engine.Estimator
 	mux *http.ServeMux
 }
 
-// New validates the configuration and builds the handler.
+// New validates the configuration, builds the selected estimator
+// (paying any index construction up front) and returns the handler.
 func New(cfg Config) (*Server, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("server: graph must not be nil")
 	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Algo == "" {
+		cfg.Algo = "crashsim"
 	}
 	if cfg.DefaultK == 0 {
 		cfg.DefaultK = 10
@@ -56,7 +82,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DefaultK < 1 || cfg.MaxK < cfg.DefaultK {
 		return nil, fmt.Errorf("server: bad k bounds (default %d, max %d)", cfg.DefaultK, cfg.MaxK)
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	est, err := engine.New(context.Background(), cfg.Algo, cfg.Graph, engine.Config{
+		C: cfg.Params.C, Eps: cfg.Params.Eps, Delta: cfg.Params.Delta,
+		Iterations: cfg.Params.Iterations, Workers: cfg.Params.Workers,
+		Seed: cfg.Params.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, est: est, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /health", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /singlesource", s.handleSingleSource)
@@ -65,9 +102,21 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// Algo returns the name of the backend serving queries.
+func (s *Server) Algo() string { return s.est.Name() }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// queryCtx derives the estimation context for one request: the request
+// context (canceled on client disconnect) plus the configured deadline.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.Timeout)
+	}
+	return r.Context(), func() {}
 }
 
 // errorBody is the JSON error envelope.
@@ -85,8 +134,19 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeQueryErr maps an estimation failure to a status: deadline or
+// client cancellation is 503 (the query was aborted, not invalid),
+// anything else is 500.
+func writeQueryErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeErr(w, http.StatusServiceUnavailable, "query aborted: %v", err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, "%v", err)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "algo": s.est.Name()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -100,6 +160,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"danglingIn":  st.DanglingIn,
 		"danglingOut": st.DanglingOut,
 		"medianInDeg": st.MedianInDeg,
+		"algo":        s.est.Name(),
 	})
 }
 
@@ -152,9 +213,11 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	scores, err := core.SingleSource(s.cfg.Graph, u, nil, s.cfg.Params)
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	scores, err := s.est.SingleSource(ctx, u, nil)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeQueryErr(w, err)
 		return
 	}
 	top := metrics.TopK(scores, u, k)
@@ -176,9 +239,11 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	score, err := core.SinglePair(s.cfg.Graph, u, v, s.cfg.Params)
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	score, err := engine.Pair(ctx, s.est, u, v)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeQueryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "score": score})
@@ -195,9 +260,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ranked, err := core.TopK(s.cfg.Graph, u, k, s.cfg.Params)
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	ranked, err := engine.TopK(ctx, s.est, u, k)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeQueryErr(w, err)
 		return
 	}
 	out := make([]scoredNode, len(ranked))

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"crashsim/internal/core"
 	"crashsim/internal/graph"
@@ -153,5 +155,67 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Graph: graph.PaperExample(), Params: core.Params{C: 9}}); err == nil {
 		t.Error("bad params accepted")
+	}
+	if _, err := New(Config{Graph: graph.PaperExample(), Algo: "nope"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestAllBackends serves every registered engine backend through the
+// same handler and checks the three query endpoints answer.
+func TestAllBackends(t *testing.T) {
+	for _, algo := range []string{"crashsim", "probesim", "sling", "reads", "exact"} {
+		s, err := New(Config{
+			Graph:  graph.PaperExample(),
+			Algo:   algo,
+			Params: core.Params{Iterations: 100, Seed: 1},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if s.Algo() != algo {
+			t.Errorf("Algo() = %q, want %q", s.Algo(), algo)
+		}
+		rec, body := get(t, s, "/health")
+		if rec.Code != http.StatusOK || body["algo"] != algo {
+			t.Errorf("%s: health %d %v", algo, rec.Code, body)
+		}
+		for _, path := range []string{"/singlesource?u=0&k=3", "/pair?u=0&v=3", "/topk?u=0&k=2"} {
+			rec, body := get(t, s, path)
+			if rec.Code != http.StatusOK {
+				t.Errorf("%s %s: %d %v", algo, path, rec.Code, body)
+			}
+		}
+	}
+}
+
+// TestCanceledRequest: a client disconnect (canceled request context)
+// aborts the estimate and returns 503.
+func TestCanceledRequest(t *testing.T) {
+	s := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/singlesource?u=0", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("canceled request: code %d, want 503 (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestRequestTimeout: a server-side deadline shorter than the query
+// aborts it and returns 503.
+func TestRequestTimeout(t *testing.T) {
+	s, err := New(Config{
+		Graph:   graph.PaperExample(),
+		Params:  core.Params{Iterations: 50_000_000, Seed: 1},
+		Timeout: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, body := get(t, s, "/singlesource?u=0")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("timed-out request: code %d, want 503 (%v)", rec.Code, body)
 	}
 }

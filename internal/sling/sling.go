@@ -22,6 +22,7 @@
 package sling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -121,6 +122,17 @@ type Index struct {
 // O(n · push + n · DSamples · E[walk]) and dominates query time by
 // design.
 func Build(g *graph.Graph, opt Options) (*Index, error) {
+	return BuildCtx(context.Background(), g, opt)
+}
+
+// BuildCtx is Build with cancellation: the per-node push and d-estimate
+// fan-outs stop handing out work once ctx is done and BuildCtx returns
+// ctx.Err(), so a canceled construction does not burn the remaining
+// index-build CPU.
+func BuildCtx(ctx context.Context, g *graph.Graph, opt Options) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := opt.withDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -140,18 +152,22 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 	// out, then build the inverted index sequentially in node order so
 	// occurrence lists (and therefore query-time summation order) stay
 	// deterministic.
-	par.ForEach(n, o.Workers, func(v int) {
+	if err := par.ForEachCtx(ctx, n, o.Workers, func(v int) {
 		ix.dist[v] = push(g, graph.NodeID(v), o)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for v := 0; v < n; v++ {
 		for _, e := range ix.dist[v] {
 			ix.inv[e.step][e.node] = append(ix.inv[e.step][e.node],
 				occurrence{origin: graph.NodeID(v), prob: e.prob})
 		}
 	}
-	par.ForEach(n, o.Workers, func(x int) {
+	if err := par.ForEachCtx(ctx, n, o.Workers, func(x int) {
 		ix.d[x] = estimateD(g, o, graph.NodeID(x))
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return ix, nil
 }
 
@@ -241,12 +257,30 @@ func estimateD(g *graph.Graph, o Options, x graph.NodeID) float64 {
 // prebuilt index. Query cost is proportional to the overlap between u's
 // distribution and the inverted occurrence lists.
 func (ix *Index) SingleSource(u graph.NodeID) (map[graph.NodeID]float64, error) {
+	return ix.SingleSourceCtx(context.Background(), u)
+}
+
+// SingleSourceCtx is SingleSource with cancellation, checked every few
+// hundred index entries (queries are fast by design, but a hub node's
+// occurrence lists can still be large).
+func (ix *Index) SingleSourceCtx(ctx context.Context, u graph.NodeID) (map[graph.NodeID]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := ix.g.NumNodes()
 	if u < 0 || int(u) >= n {
 		return nil, fmt.Errorf("sling: source %d out of range for n=%d", u, n)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	scores := make(map[graph.NodeID]float64, 64)
-	for _, e := range ix.dist[u] {
+	for i, e := range ix.dist[u] {
+		if i&255 == 255 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, occ := range ix.inv[e.step][e.node] {
 			scores[occ.origin] += e.prob * occ.prob * ix.d[e.node]
 		}
