@@ -7,11 +7,16 @@
 //	curl 'localhost:8080/pair?u=3&v=17'
 //	curl 'localhost:8080/topk?u=3&k=10'
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics'
 //
 // The backend is selected with -algo (crashsim, probesim, sling, reads,
 // exact); index-based backends build their index at startup. Each query
-// runs under a per-request deadline (-timeout), and the process drains
-// in-flight requests and exits cleanly on SIGINT/SIGTERM.
+// runs under a per-request deadline (-timeout), concurrent estimates
+// are bounded by an admission gate (-max-inflight; excess queries get
+// 429 + Retry-After), /metrics reports query counts, latency histograms
+// and Monte-Carlo work counters, -pprof mounts /debug/pprof/, and the
+// process drains in-flight requests and exits cleanly on
+// SIGINT/SIGTERM.
 package main
 
 import (
@@ -45,6 +50,9 @@ func main() {
 		iters     = flag.Int("iters", 2000, "Monte-Carlo iterations (0 = theory-derived)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		timeout   = flag.Duration("timeout", server.DefaultTimeout, "per-query estimation deadline (negative disables)")
+		maxInFl   = flag.Int("max-inflight", server.DefaultMaxInFlight(),
+			"max concurrent query estimates before 429 (negative disables admission control)")
+		pprofOn = flag.Bool("pprof", false, "mount /debug/pprof/ (trusted ports only)")
 	)
 	flag.Parse()
 
@@ -54,17 +62,19 @@ func main() {
 		os.Exit(1)
 	}
 	srv, err := server.New(server.Config{
-		Graph:   g,
-		Algo:    *algo,
-		Params:  core.Params{C: *c, Eps: *eps, Iterations: *iters, Seed: *seed},
-		Timeout: *timeout,
+		Graph:       g,
+		Algo:        *algo,
+		Params:      core.Params{C: *c, Eps: *eps, Iterations: *iters, Seed: *seed},
+		Timeout:     *timeout,
+		MaxInFlight: *maxInFl,
+		EnablePprof: *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("serving SimRank queries on %s (algo: %s, graph: n=%d m=%d, query timeout: %v)",
-		*addr, srv.Algo(), g.NumNodes(), g.NumEdges(), *timeout)
+	log.Printf("serving SimRank queries on %s (algo: %s, graph: n=%d m=%d, query timeout: %v, max in-flight: %d, pprof: %t)",
+		*addr, srv.Algo(), g.NumNodes(), g.NumEdges(), *timeout, *maxInFl, *pprofOn)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

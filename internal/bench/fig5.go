@@ -30,6 +30,7 @@ type Fig5Result struct {
 func Fig5(cfg Config) ([]Fig5Result, *Report, error) {
 	cfg = cfg.WithDefaults()
 	ctx := context.Background()
+	work := StartWork()
 	var results []Fig5Result
 	for _, prof := range gen.Profiles() {
 		p := prof.Scaled(cfg.Scale)
@@ -80,6 +81,7 @@ func Fig5(cfg Config) ([]Fig5Result, *Report, error) {
 		rep.AddRow(r.Dataset, r.Algorithm, r.MeanTime.Round(10*time.Microsecond).String(),
 			fmt.Sprintf("%.4f", r.MeanME))
 	}
+	rep.Footer = append(rep.Footer, work.Lines()...)
 	return results, rep, nil
 }
 

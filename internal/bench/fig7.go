@@ -60,6 +60,7 @@ func Fig7(cfg Config) ([]Fig7Result, *Report, error) {
 		return nil, nil, fmt.Errorf("bench: unknown fig7 query %q (want trend or threshold)", cfg.Fig7Query)
 	}
 
+	work := StartWork()
 	var results []Fig7Result
 	for _, t := range cfg.Fig7Snapshots {
 		tg, err := full.Slice(0, t)
@@ -94,6 +95,7 @@ func Fig7(cfg Config) ([]Fig7Result, *Report, error) {
 			r.TotalTime.Round(time.Millisecond).String(), fmt.Sprintf("%d", r.OmegaSize))
 	}
 	rep.Footer = fig7Chart(cfg.Fig7Snapshots, results)
+	rep.Footer = append(rep.Footer, work.Lines()...)
 	return results, rep, nil
 }
 

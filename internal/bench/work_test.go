@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"crashsim/internal/core"
+	"crashsim/internal/graph"
+)
+
+// TestWorkMeter: Monte-Carlo work done between StartWork and Lines
+// shows up as counter deltas in the rendered footer.
+func TestWorkMeter(t *testing.T) {
+	w := StartWork()
+	if _, err := core.SingleSource(graph.PaperExample(), 0, nil, core.Params{Iterations: 200, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lines := w.Lines()
+	if len(lines) == 0 {
+		t.Fatal("no work lines after a single-source query")
+	}
+	if !strings.Contains(lines[0], "core.walks=") {
+		t.Errorf("work line missing walk count: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "core.candidates=") {
+		t.Errorf("work line missing candidate count: %q", lines[0])
+	}
+
+	// A fresh meter with no work in between renders nothing.
+	if lines := StartWork().Lines(); len(lines) != 0 {
+		t.Errorf("idle meter produced %v", lines)
+	}
+}

@@ -160,6 +160,8 @@ func estimate(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph
 
 	dense := sc.dense
 
+	statCandidates.Add(uint64(len(omega)))
+
 	// Zero-score prefilter: a candidate's walk can only crash into the
 	// source tree if the candidate is forward-reachable (via out-edges)
 	// from some tree node within l_max hops. Everything else provably
@@ -178,6 +180,7 @@ func estimate(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph
 			}
 		}
 		sc.live = live
+		statPrefilterPruned.Add(uint64(len(omega) - len(live)))
 	}
 
 	workers := p.Workers
@@ -282,12 +285,14 @@ func estimateCandidate(ctx context.Context, g *graph.Graph, u, v graph.NodeID, p
 	for k := 0; k < nr; k++ {
 		if k&(ctxCheckInterval-1) == ctxCheckInterval-1 {
 			if err := ctx.Err(); err != nil {
+				statWalks.Add(uint64(k))
 				return 0, walk, err
 			}
 		}
 		walk = SampleWalk(g, v, p.C, p.Lmax, r, walk)
 		sum += walkContribution(g, walk, tree, p.Meeting, sc)
 	}
+	statWalks.Add(uint64(nr))
 	return sum / float64(nr), walk, nil
 }
 

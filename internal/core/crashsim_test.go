@@ -69,6 +69,11 @@ func TestParamsValidate(t *testing.T) {
 		{"negative lmax", Params{Lmax: -1}, "lmax"},
 		{"negative iterations", Params{Iterations: -5}, "iterations"},
 		{"eps below truncation", Params{Eps: 1e-9, Lmax: 2}, "truncation error"},
+		// Regression: the truncation check must also fire for callers
+		// relying on the default ε = 0.025 — with lmax forced to 1 the
+		// truncation error p·ε_t ≈ 0.17 dwarfs the default ε, and the old
+		// `p.Eps != 0` guard skipped the check entirely.
+		{"default eps below truncation", Params{Lmax: 1}, "truncation error"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

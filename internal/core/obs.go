@@ -1,0 +1,39 @@
+package core
+
+import "crashsim/internal/obs"
+
+// Work-done counters. They land in the process-wide obs.Default
+// registry so every consumer — the HTTP /metrics endpoint, the bench
+// harness's work-done footers — reads one source of truth without the
+// estimator APIs growing a registry parameter.
+//
+// Update discipline: the Monte-Carlo inner loop never touches an
+// atomic; walk counts accumulate locally and are added once per
+// candidate, pool counters tick once per query or per worker, and the
+// temporal counters tick once per CrashSim-T run. Counters never
+// influence results — the determinism tests stay bit-exact.
+var (
+	// statWalks counts truncated √c-walks actually sampled (prefiltered
+	// candidates sample none).
+	statWalks = obs.Default.Counter("core.walks")
+	// statCandidates counts candidates requested across all queries.
+	statCandidates = obs.Default.Counter("core.candidates")
+	// statPrefilterPruned counts candidates the zero-score prefilter
+	// proved zero without sampling; pruned/candidates is the prune rate.
+	statPrefilterPruned = obs.Default.Counter("core.prefilter_pruned")
+
+	// Scratch-pool traffic: hits reuse pooled buffers, misses allocate.
+	statScratchHits   = obs.Default.Counter("core.pool.scratch_hits")
+	statScratchMisses = obs.Default.Counter("core.pool.scratch_misses")
+	statWalkHits      = obs.Default.Counter("core.pool.walk_hits")
+	statWalkMisses    = obs.Default.Counter("core.pool.walk_misses")
+	statTreeHits      = obs.Default.Counter("core.pool.tree_hits")
+	statTreeMisses    = obs.Default.Counter("core.pool.tree_misses")
+
+	// CrashSim-T pruning outcomes, mirroring TemporalStats cumulatively
+	// across runs.
+	statTemporalSnapshots   = obs.Default.Counter("core.temporal.snapshots")
+	statTemporalEvaluated   = obs.Default.Counter("core.temporal.evaluated")
+	statTemporalReusedDelta = obs.Default.Counter("core.temporal.reused_delta")
+	statTemporalReusedDiff  = obs.Default.Counter("core.temporal.reused_diff")
+)

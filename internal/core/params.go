@@ -167,11 +167,14 @@ func (p Params) Validate() error {
 	if q.Iterations < 0 {
 		return fmt.Errorf("core: iterations must be >= 0, got %d", q.Iterations)
 	}
-	if p.Eps != 0 {
-		if et := TruncationError(q.C, q.Lmax); q.Eps <= TruncationMass(q.C, q.Lmax)*et {
-			return fmt.Errorf("core: eps=%g not above the truncation error p·ε_t=%g; increase eps or lmax",
-				q.Eps, TruncationMass(q.C, q.Lmax)*et)
-		}
+	// The truncation-error sanity check runs on the defaulted q, not
+	// the caller's raw p: guarding on p.Eps != 0 would silently skip
+	// the check for every caller relying on the default ε = 0.025 —
+	// exactly the callers who combine it with a hand-set small Lmax and
+	// need the warning most.
+	if et := TruncationError(q.C, q.Lmax); q.Eps <= TruncationMass(q.C, q.Lmax)*et {
+		return fmt.Errorf("core: eps=%g not above the truncation error p·ε_t=%g; increase eps or lmax",
+			q.Eps, TruncationMass(q.C, q.Lmax)*et)
 	}
 	return nil
 }

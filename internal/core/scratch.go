@@ -23,14 +23,22 @@ type scratch struct {
 	walk  []graph.NodeID // walk buffer for the sequential path
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+// The pools have no New functions: Get returning nil distinguishes a
+// pool hit from a miss, feeding the core.pool.* hit/miss counters.
+var scratchPool sync.Pool
 
 // acquireScratch returns a scratch whose dense array has length n and
 // is zeroed. With pooling disabled it simply allocates fresh buffers.
 func acquireScratch(n int, pooled bool) *scratch {
 	var s *scratch
 	if pooled {
-		s = scratchPool.Get().(*scratch)
+		if v := scratchPool.Get(); v != nil {
+			s = v.(*scratch)
+			statScratchHits.Inc()
+		} else {
+			s = new(scratch)
+			statScratchMisses.Inc()
+		}
 	} else {
 		s = new(scratch)
 	}
@@ -65,11 +73,15 @@ func (s *scratch) identity(n int) []graph.NodeID {
 
 // walkPool recycles the per-worker walk buffers of the parallel
 // estimate path (the sequential path uses scratch.walk).
-var walkPool = sync.Pool{New: func() any { return new([]graph.NodeID) }}
+var walkPool sync.Pool
 
 func acquireWalk(pooled bool) *[]graph.NodeID {
 	if pooled {
-		return walkPool.Get().(*[]graph.NodeID)
+		if v := walkPool.Get(); v != nil {
+			statWalkHits.Inc()
+			return v.(*[]graph.NodeID)
+		}
+		statWalkMisses.Inc()
 	}
 	return new([]graph.NodeID)
 }
@@ -85,13 +97,20 @@ func releaseWalk(w *[]graph.NodeID, pooled bool) {
 // (CrashSim-T stores them across snapshots), so nothing is pooled
 // automatically: only SingleSourceCtx, which fully owns the tree it
 // builds, releases it after the estimate.
-var treePool = sync.Pool{New: func() any { return new(ReachTree) }}
+var treePool sync.Pool
 
 // acquireTree returns a ReachTree with lmax+1 empty level maps, reusing
 // pooled map storage (cleared maps keep their buckets, so warm queries
 // skip most of the rehash-growth cost of the level DP).
 func acquireTree(u graph.NodeID, lmax int) *ReachTree {
-	t := treePool.Get().(*ReachTree)
+	var t *ReachTree
+	if v := treePool.Get(); v != nil {
+		t = v.(*ReachTree)
+		statTreeHits.Inc()
+	} else {
+		t = new(ReachTree)
+		statTreeMisses.Inc()
+	}
 	t.Source = u
 	t.Lmax = lmax
 	if cap(t.levels) < lmax+1 {

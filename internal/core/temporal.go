@@ -217,6 +217,10 @@ func CrashSimT(tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, to
 	for v, s := range omega {
 		res.Final[v] = s
 	}
+	statTemporalSnapshots.Add(uint64(res.Stats.Snapshots))
+	statTemporalEvaluated.Add(uint64(res.Stats.Evaluated))
+	statTemporalReusedDelta.Add(uint64(res.Stats.ReusedDelta))
+	statTemporalReusedDiff.Add(uint64(res.Stats.ReusedDiff))
 	return res, nil
 }
 

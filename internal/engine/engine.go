@@ -20,6 +20,7 @@ import (
 
 	"crashsim/internal/core"
 	"crashsim/internal/graph"
+	"crashsim/internal/obs"
 )
 
 // Estimator answers SimRank queries against one fixed graph with fixed
@@ -79,6 +80,12 @@ type Config struct {
 	// ExactMaxNodes is the Power Method's all-pairs memory guard
 	// (default 8192; -1 disables).
 	ExactMaxNodes int
+
+	// Metrics selects the registry receiving this estimator's
+	// per-backend query counts, error/cancellation counts and latency
+	// histograms (see internal/obs). Nil means obs.Default; tests and
+	// multi-tenant servers pass private registries for isolation.
+	Metrics *obs.Registry
 }
 
 // Builder constructs one family's Estimator over g. Index-based
@@ -131,7 +138,11 @@ func New(ctx context.Context, name string, g *graph.Graph, cfg Config) (Estimato
 	if err != nil {
 		return nil, fmt.Errorf("engine: building %s: %w", name, err)
 	}
-	return est, nil
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	return meter(est, newBackendMetrics(reg, name)), nil
 }
 
 // TopK answers the top-k query through est: natively when est

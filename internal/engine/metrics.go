@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"crashsim/internal/core"
+	"crashsim/internal/graph"
+	"crashsim/internal/obs"
+)
+
+// Per-backend serving metrics. engine.New wraps every Estimator it
+// builds in a metering layer, so all consumers — the HTTP server, the
+// CLIs, the bench harness — get query counts, error/cancellation
+// counts and end-to-end latency histograms for free, named
+//
+//	engine.<backend>.queries             total queries (all ops)
+//	engine.<backend>.queries.<op>        per-op counts (singlesource, topk, pair)
+//	engine.<backend>.errors              non-cancellation failures
+//	engine.<backend>.canceled            context cancellations/deadlines
+//	engine.<backend>.latency             latency histogram across all ops
+//
+// The wrapper preserves the inner estimator's capabilities: it only
+// advertises TopKer/Pairer when the wrapped backend does, so the
+// package-level TopK/Pair fallbacks behave exactly as before.
+type backendMetrics struct {
+	queries      *obs.Counter
+	singleSource *obs.Counter
+	topK         *obs.Counter
+	pair         *obs.Counter
+	errors       *obs.Counter
+	canceled     *obs.Counter
+	latency      *obs.Histogram
+}
+
+func newBackendMetrics(reg *obs.Registry, backend string) *backendMetrics {
+	p := "engine." + backend + "."
+	return &backendMetrics{
+		queries:      reg.Counter(p + "queries"),
+		singleSource: reg.Counter(p + "queries.singlesource"),
+		topK:         reg.Counter(p + "queries.topk"),
+		pair:         reg.Counter(p + "queries.pair"),
+		errors:       reg.Counter(p + "errors"),
+		canceled:     reg.Counter(p + "canceled"),
+		latency:      reg.Histogram(p + "latency"),
+	}
+}
+
+// done records one finished query: its latency always, plus an error
+// or cancellation counter when it failed.
+func (m *backendMetrics) done(start time.Time, err error) {
+	m.latency.Since(start)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		m.canceled.Inc()
+	} else {
+		m.errors.Inc()
+	}
+}
+
+// metered wraps an Estimator with per-backend metrics.
+type metered struct {
+	inner Estimator
+	m     *backendMetrics
+}
+
+func (e *metered) Name() string { return e.inner.Name() }
+
+func (e *metered) SingleSource(ctx context.Context, u graph.NodeID, omega []graph.NodeID) (core.Scores, error) {
+	e.m.queries.Inc()
+	e.m.singleSource.Inc()
+	start := time.Now()
+	s, err := e.inner.SingleSource(ctx, u, omega)
+	e.m.done(start, err)
+	return s, err
+}
+
+// topK/pairThrough are the native-capability passthroughs; they are
+// only reachable from wrapper types that advertise the interface.
+func (e *metered) topKThrough(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
+	e.m.queries.Inc()
+	e.m.topK.Inc()
+	start := time.Now()
+	r, err := e.inner.(TopKer).TopK(ctx, u, k)
+	e.m.done(start, err)
+	return r, err
+}
+
+func (e *metered) pairThrough(ctx context.Context, u, v graph.NodeID) (float64, error) {
+	e.m.queries.Inc()
+	e.m.pair.Inc()
+	start := time.Now()
+	s, err := e.inner.(Pairer).Pair(ctx, u, v)
+	e.m.done(start, err)
+	return s, err
+}
+
+type meteredTopK struct{ *metered }
+
+func (e meteredTopK) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
+	return e.topKThrough(ctx, u, k)
+}
+
+type meteredPair struct{ *metered }
+
+func (e meteredPair) Pair(ctx context.Context, u, v graph.NodeID) (float64, error) {
+	return e.pairThrough(ctx, u, v)
+}
+
+type meteredTopKPair struct{ *metered }
+
+func (e meteredTopKPair) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
+	return e.topKThrough(ctx, u, k)
+}
+
+func (e meteredTopKPair) Pair(ctx context.Context, u, v graph.NodeID) (float64, error) {
+	return e.pairThrough(ctx, u, v)
+}
+
+// meter wraps inner with metrics, picking the wrapper variant that
+// mirrors the inner estimator's optional interfaces.
+func meter(inner Estimator, m *backendMetrics) Estimator {
+	base := &metered{inner: inner, m: m}
+	_, hasTopK := inner.(TopKer)
+	_, hasPair := inner.(Pairer)
+	switch {
+	case hasTopK && hasPair:
+		return meteredTopKPair{base}
+	case hasTopK:
+		return meteredTopK{base}
+	case hasPair:
+		return meteredPair{base}
+	default:
+		return base
+	}
+}

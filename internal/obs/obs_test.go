@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d, want 5", c.Load())
+	}
+	if r.Counter("a.b") != c {
+		t.Error("counter lookup not idempotent")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if g.Load() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Load())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (le is inclusive)
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(50 * time.Millisecond)  // bucket 2
+	h.Observe(time.Second)            // overflow
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantCounts := []uint64{2, 1, 1}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d (le %g): count %d, want %d", i, b.UpperBound, b.Count, wantCounts[i])
+		}
+	}
+	if s.Overflow != 1 {
+		t.Errorf("overflow = %d, want 1", s.Overflow)
+	}
+	wantSum := (0.5 + 1 + 5 + 50 + 1000) / 1000.0
+	if diff := s.SumSeconds - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum = %g, want %g", s.SumSeconds, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 0.001 {
+		t.Errorf("p50 = %g, want 0.001", q)
+	}
+	if q := s.Quantile(0.99); q != 0.1 {
+		t.Errorf("p99 = %g, want 0.1", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramUnsortedBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds accepted")
+		}
+	}()
+	NewHistogram(0.1, 0.01)
+}
+
+func TestSnapshotJSONAndDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries").Add(10)
+	r.Gauge("inflight").Set(3)
+	r.Histogram("lat", 0.01, 0.1).Observe(5 * time.Millisecond)
+	before := r.Snapshot()
+
+	r.Counter("queries").Add(7)
+	r.Histogram("lat").Observe(50 * time.Millisecond)
+	after := r.Snapshot()
+
+	d := after.Delta(before)
+	if d.Counters["queries"] != 7 {
+		t.Errorf("delta counter = %d, want 7", d.Counters["queries"])
+	}
+	if d.Histograms["lat"].Count != 1 || d.Histograms["lat"].Buckets[1].Count != 1 {
+		t.Errorf("delta histogram = %+v", d.Histograms["lat"])
+	}
+	if d.Gauges["inflight"] != 3 {
+		t.Errorf("delta gauge = %d, want current value 3", d.Gauges["inflight"])
+	}
+
+	// The snapshot must marshal cleanly (no +Inf anywhere).
+	if _, err := json.Marshal(after); err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Snapshot{Counters: map[string]uint64{"x": 1, "shared": 5}}
+	b := Snapshot{Counters: map[string]uint64{"y": 2, "shared": 9}}
+	m := a.Merge(b)
+	if m.Counters["x"] != 1 || m.Counters["y"] != 2 || m.Counters["shared"] != 5 {
+		t.Errorf("merge = %v", m.Counters)
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines; run
+// under -race this is the data-race regression test for the whole
+// package.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(time.Millisecond)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Load(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

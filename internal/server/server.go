@@ -3,6 +3,7 @@
 //
 //	GET /health              -> {"status":"ok","algo":"crashsim"}
 //	GET /stats               -> graph statistics
+//	GET /metrics             -> serving metrics (see handleMetrics)
 //	GET /singlesource?u=3&k=10
 //	GET /pair?u=3&v=17
 //	GET /topk?u=3&k=10
@@ -13,6 +14,15 @@
 // parameters are fixed at construction so results are reproducible
 // across requests. Every query runs under the request context plus a
 // configurable per-request timeout; an aborted estimate returns 503.
+//
+// Overload protection: the query endpoints run behind an admission
+// gate bounding concurrent in-flight estimates (Config.MaxInFlight).
+// When the bound is reached, further queries are rejected immediately
+// with 429 and a Retry-After header rather than queued — Monte-Carlo
+// estimates are CPU-bound, so queuing past the core count only grows
+// latency for everyone. /health, /stats and /metrics stay outside the
+// gate so load balancers and dashboards see a saturated server, not a
+// dead one.
 package server
 
 import (
@@ -21,6 +31,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -28,11 +40,17 @@ import (
 	"crashsim/internal/engine"
 	"crashsim/internal/graph"
 	"crashsim/internal/metrics"
+	"crashsim/internal/obs"
 )
 
 // DefaultTimeout is the per-request estimation budget when
 // Config.Timeout is zero.
 const DefaultTimeout = 30 * time.Second
+
+// DefaultMaxInFlight bounds concurrent query estimates when
+// Config.MaxInFlight is zero: twice the core count, enough to keep
+// every core busy while one batch finishes encoding.
+func DefaultMaxInFlight() int { return 2 * runtime.GOMAXPROCS(0) }
 
 // Config fixes the served graph and estimator parameters.
 type Config struct {
@@ -52,13 +70,35 @@ type Config struct {
 	// DefaultTimeout; negative disables the per-request deadline (the
 	// request context still cancels on client disconnect).
 	Timeout time.Duration
+	// MaxInFlight bounds concurrent query estimates; excess requests
+	// get 429 with a Retry-After header. Zero means DefaultMaxInFlight;
+	// negative disables admission control.
+	MaxInFlight int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
+	// CPU/heap/goroutine profiling. Off by default: profiles reveal
+	// internals, so only enable on trusted ports.
+	EnablePprof bool
+	// Metrics receives the server's and its estimator's metrics. Nil
+	// means obs.Default, which also carries internal/core's work
+	// counters (walks, pool traffic, prune rates) so /metrics shows
+	// the whole serving stack in one snapshot.
+	Metrics *obs.Registry
 }
 
 // Server is an http.Handler answering SimRank queries.
 type Server struct {
-	cfg Config
-	est engine.Estimator
-	mux *http.ServeMux
+	cfg   Config
+	est   engine.Estimator
+	mux   *http.ServeMux
+	start time.Time
+
+	// Admission gate (nil when disabled) plus its observability.
+	sem      chan struct{}
+	reg      *obs.Registry
+	inflight *obs.Gauge
+	served   *obs.Counter
+	rejected *obs.Counter
+	latency  *obs.Histogram
 }
 
 // New validates the configuration, builds the selected estimator
@@ -85,21 +125,73 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default
+	}
 	est, err := engine.New(context.Background(), cfg.Algo, cfg.Graph, engine.Config{
 		C: cfg.Params.C, Eps: cfg.Params.Eps, Delta: cfg.Params.Delta,
 		Iterations: cfg.Params.Iterations, Workers: cfg.Params.Workers,
-		Seed: cfg.Params.Seed,
+		Seed: cfg.Params.Seed, Metrics: cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, est: est, mux: http.NewServeMux()}
+	s := &Server{
+		cfg: cfg, est: est, mux: http.NewServeMux(), start: time.Now(),
+		reg:      cfg.Metrics,
+		inflight: cfg.Metrics.Gauge("server.inflight"),
+		served:   cfg.Metrics.Counter("server.queries"),
+		rejected: cfg.Metrics.Counter("server.rejected"),
+		latency:  cfg.Metrics.Histogram("server.latency"),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
 	s.mux.HandleFunc("GET /health", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /singlesource", s.handleSingleSource)
-	s.mux.HandleFunc("GET /pair", s.handlePair)
-	s.mux.HandleFunc("GET /topk", s.handleTopK)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /singlesource", s.admit(s.handleSingleSource))
+	s.mux.HandleFunc("GET /pair", s.admit(s.handlePair))
+	s.mux.HandleFunc("GET /topk", s.admit(s.handleTopK))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// admit is the admission-control middleware around the query
+// endpoints: it reserves an in-flight slot (or rejects with 429 when
+// the server is saturated) and records the end-to-end request latency
+// — parsing, estimation and JSON encoding — in server.latency, the
+// client's-eye complement of the engine's estimation-only histograms.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.rejected.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusTooManyRequests,
+					"server saturated: %d queries in flight; retry shortly", cap(s.sem))
+				return
+			}
+		}
+		s.served.Inc()
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+		start := time.Now()
+		h(w, r)
+		s.latency.Since(start)
+	}
 }
 
 // Algo returns the name of the backend serving queries.
@@ -164,6 +256,37 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleMetrics serves a JSON snapshot of the serving metrics:
+//
+//	{
+//	  "algo": "crashsim",
+//	  "uptime_seconds": 12.3,
+//	  "max_inflight": 16,
+//	  "counters":   {"server.queries": 42, "engine.crashsim.queries": 42, "core.walks": 1234567, ...},
+//	  "gauges":     {"server.inflight": 1, ...},
+//	  "histograms": {"engine.crashsim.latency": {"count": 42, "sum_seconds": 1.9,
+//	                  "buckets": [{"le": 0.0001, "count": 0}, ...], "overflow": 0}, ...}
+//	}
+//
+// Bucket counts are per-bucket (not cumulative); "overflow" counts
+// observations above the last bound. With the default registry the
+// snapshot includes internal/core's process-wide work counters
+// (core.walks, core.pool.*, core.prefilter_pruned, core.temporal.*).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.reg.Snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		Algo          string  `json:"algo"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		MaxInFlight   int     `json:"max_inflight"`
+		obs.Snapshot
+	}{
+		Algo:          s.est.Name(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Snapshot:      snap,
+	})
+}
+
 // nodeParam parses a node id query parameter and range-checks it.
 func (s *Server) nodeParam(r *http.Request, name string) (graph.NodeID, error) {
 	raw := r.URL.Query().Get(name)
@@ -181,6 +304,11 @@ func (s *Server) nodeParam(r *http.Request, name string) (graph.NodeID, error) {
 }
 
 // kParam parses the optional k parameter with defaults and caps.
+// Requests above MaxK are clamped rather than rejected — partial
+// results beat a 400 for a pagination-style client — but never
+// silently: list responses carry the effective "k" field, so a client
+// asking for k=5000 and receiving k=1000 can tell the cap from a
+// sparse graph.
 func (s *Server) kParam(r *http.Request) (int, error) {
 	raw := r.URL.Query().Get("k")
 	if raw == "" {
@@ -225,7 +353,7 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 	for i, v := range top {
 		out[i] = scoredNode{Node: v, Score: scores[v]}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"source": u, "results": out})
+	writeJSON(w, http.StatusOK, map[string]any{"source": u, "k": k, "results": out})
 }
 
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
@@ -271,5 +399,5 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	for i, rn := range ranked {
 		out[i] = scoredNode{Node: rn.Node, Score: rn.Score}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"source": u, "results": out})
+	writeJSON(w, http.StatusOK, map[string]any{"source": u, "k": k, "results": out})
 }

@@ -229,3 +229,82 @@ func TestSlice(t *testing.T) {
 		}
 	}
 }
+
+// TestSliceBoundaries pins the interval-endpoint cases: the identity
+// slice [0, T), single-snapshot slices at the first and last instants,
+// and the exact edge sets each must carry.
+func TestSliceBoundaries(t *testing.T) {
+	tg := mustTemporal(t, 3, true,
+		[]graph.Edge{{X: 0, Y: 1}},
+		[]Delta{
+			{Add: []graph.Edge{{X: 1, Y: 2}}},
+			{Del: []graph.Edge{{X: 0, Y: 1}}},
+		})
+	T := tg.NumSnapshots()
+
+	// Identity slice: same length, same snapshots at both ends.
+	full, err := tg.Slice(0, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumSnapshots() != T {
+		t.Fatalf("Slice(0,T) has %d snapshots, want %d", full.NumSnapshots(), T)
+	}
+	for _, i := range []int{0, T - 1} {
+		want, err := tg.Snapshot(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := full.Snapshot(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumEdges() != want.NumEdges() {
+			t.Errorf("identity slice snapshot %d: %d edges, want %d", i, got.NumEdges(), want.NumEdges())
+		}
+	}
+
+	// Single-snapshot slices at every instant, including from=0 and
+	// to=T: one snapshot, no deltas, matching edge counts.
+	wantEdges := []int{1, 2, 1}
+	for from := 0; from < T; from++ {
+		single, err := tg.Slice(from, from+1)
+		if err != nil {
+			t.Fatalf("Slice(%d,%d): %v", from, from+1, err)
+		}
+		if single.NumSnapshots() != 1 {
+			t.Fatalf("Slice(%d,%d) has %d snapshots, want 1", from, from+1, single.NumSnapshots())
+		}
+		g, err := single.Snapshot(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() != wantEdges[from] {
+			t.Errorf("single slice at %d: %d edges, want %d", from, g.NumEdges(), wantEdges[from])
+		}
+		if _, err := single.Snapshot(1); err == nil {
+			t.Errorf("single slice at %d: snapshot 1 accepted", from)
+		}
+	}
+
+	// Slicing a slice stays consistent with slicing the original.
+	tail, err := tg.Slice(1, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tail.Slice(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tg.Snapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sub.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != want.NumEdges() || got.HasEdge(0, 1) != want.HasEdge(0, 1) {
+		t.Error("slice-of-slice snapshot differs from direct slice")
+	}
+}

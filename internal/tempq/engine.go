@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"crashsim/internal/core"
 	"crashsim/internal/exact"
@@ -94,12 +95,15 @@ func runPerSnapshot(tg *temporal.Graph, u graph.NodeID, q Query, score snapshotS
 }
 
 // CrashSimT answers temporal queries with the paper's contribution:
-// partial recomputation plus delta and difference pruning.
+// partial recomputation plus delta and difference pruning. One engine
+// value is safe for concurrent Run calls: the pruning statistics of
+// the most recent Run are kept behind a mutex and read via Stats.
 type CrashSimT struct {
 	Params  core.Params
 	Options core.TemporalOptions
-	// LastStats records the pruning statistics of the most recent Run.
-	LastStats core.TemporalStats
+
+	mu        sync.Mutex
+	lastStats core.TemporalStats
 }
 
 // Name implements Engine.
@@ -111,8 +115,20 @@ func (e *CrashSimT) Run(tg *temporal.Graph, u graph.NodeID, q Query) ([]graph.No
 	if err != nil {
 		return nil, err
 	}
-	e.LastStats = res.Stats
+	e.mu.Lock()
+	e.lastStats = res.Stats
+	e.mu.Unlock()
 	return res.Omega, nil
+}
+
+// Stats returns the pruning statistics of the most recent successful
+// Run (the zero value before any). With concurrent Runs it reports
+// whichever finished last; callers needing per-query stats should use
+// core.CrashSimT directly, which returns them with the result.
+func (e *CrashSimT) Stats() core.TemporalStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastStats
 }
 
 // ProbeSimT re-runs ProbeSim from scratch on every snapshot.

@@ -52,13 +52,7 @@ func DurableTopK(tg *temporal.Graph, u graph.NodeID, k int, p core.Params, topt 
 	}
 	min := make(map[graph.NodeID]float64)
 	topt.Observer = func(t int, scores core.Scores) {
-		for v, s := range scores {
-			if t == 0 {
-				min[v] = s
-			} else if cur, ok := min[v]; ok && s < cur {
-				min[v] = s
-			}
-		}
+		observeMin(min, t, scores)
 	}
 	if _, err := core.CrashSimT(tg, u, keepAll{}, p, topt); err != nil {
 		return nil, err
@@ -80,4 +74,24 @@ func DurableTopK(tg *temporal.Graph, u graph.NodeID, k int, p core.Params, topt 
 		k = len(out)
 	}
 	return out[:k], nil
+}
+
+// observeMin folds one snapshot's scores into the per-node running
+// minima. A node tracked since t=0 but missing from a later snapshot's
+// score map has similarity 0 there — a disconnected node is maximally
+// non-durable — so absence lowers the minimum to 0 rather than quietly
+// preserving the stale t=0 value. (Iterating the tracked set, not the
+// snapshot's map, is what makes absence count.)
+func observeMin(min map[graph.NodeID]float64, t int, scores core.Scores) {
+	if t == 0 {
+		for v, s := range scores {
+			min[v] = s
+		}
+		return
+	}
+	for v := range min {
+		if s := scores[v]; s < min[v] {
+			min[v] = s
+		}
+	}
 }

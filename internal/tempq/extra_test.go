@@ -64,6 +64,61 @@ func TestDurableTopK(t *testing.T) {
 	}
 }
 
+// TestObserveMinAbsentNode is the regression test for the durable
+// top-k stale-minimum bug: a node scored at t=0 but absent from a
+// later snapshot's score map (disconnected — similarity 0) must have
+// its minimum dropped to 0, not keep the stale t=0 value and outrank
+// genuinely durable nodes.
+func TestObserveMinAbsentNode(t *testing.T) {
+	min := make(map[graph.NodeID]float64)
+	observeMin(min, 0, core.Scores{1: 0.9, 2: 0.4})
+	observeMin(min, 1, core.Scores{2: 0.3}) // node 1 absent: disconnected at t=1
+	if min[1] != 0 {
+		t.Errorf("absent node kept stale minimum %g, want 0", min[1])
+	}
+	if min[2] != 0.3 {
+		t.Errorf("present node minimum = %g, want 0.3", min[2])
+	}
+	// A node appearing only after t=0 was never in the tracked set and
+	// must not be invented retroactively.
+	observeMin(min, 2, core.Scores{1: 0.1, 2: 0.5, 3: 0.8})
+	if _, ok := min[3]; ok {
+		t.Error("node absent at t=0 acquired a minimum")
+	}
+	if min[1] != 0 {
+		t.Errorf("minimum rose from 0 to %g", min[1])
+	}
+}
+
+// TestDurableTopKDisconnectedNode drives the same scenario end to end:
+// node 3 is strongly similar to the source at t=0 and fully
+// disconnected afterwards, so its durability (minimum score) must be 0
+// and it must rank below a modestly-but-persistently similar node.
+func TestDurableTopKDisconnectedNode(t *testing.T) {
+	// t=0: nodes 1 and 3 share in-neighbor 2 with node 0; t=1: node 3
+	// loses its only in-edge and is disconnected.
+	tg, err := temporal.New(5, true,
+		[]graph.Edge{{X: 2, Y: 0}, {X: 2, Y: 1}, {X: 2, Y: 3}, {X: 4, Y: 2}},
+		[]temporal.Delta{{Del: []graph.Edge{{X: 2, Y: 3}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DurableTopK(tg, 0, 4, core.Params{Iterations: 400, Seed: 5}, core.TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNode := make(map[graph.NodeID]float64, len(res))
+	for _, r := range res {
+		byNode[r.Node] = r.MinScore
+	}
+	if byNode[3] != 0 {
+		t.Errorf("disconnected node durability = %g, want 0", byNode[3])
+	}
+	if byNode[1] <= byNode[3] {
+		t.Errorf("persistent node (%g) should outrank disconnected node (%g)", byNode[1], byNode[3])
+	}
+}
+
 func TestDurableTopKErrors(t *testing.T) {
 	tg := smallTemporal(t, 10, 20, 2, 61)
 	if _, err := DurableTopK(tg, 0, 0, core.Params{Iterations: 10}, core.TemporalOptions{}); err == nil {

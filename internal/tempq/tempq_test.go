@@ -2,6 +2,7 @@ package tempq
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"crashsim/internal/core"
@@ -116,8 +117,50 @@ func TestTrendQueryAcrossEngines(t *testing.T) {
 	if p := metrics.Precision(truth, got); p < 0.6 {
 		t.Errorf("crashsim-t trend precision %.2f below 0.6", p)
 	}
-	if cs.LastStats.Snapshots != 3 {
-		t.Errorf("LastStats.Snapshots = %d, want 3", cs.LastStats.Snapshots)
+	if got := cs.Stats().Snapshots; got != 3 {
+		t.Errorf("Stats().Snapshots = %d, want 3", got)
+	}
+}
+
+// TestConcurrentTemporalQueries runs many temporal queries through one
+// shared CrashSimT engine; under -race this is the regression test for
+// the data race on the engine's last-run statistics (formerly a bare
+// public field written by every Run).
+func TestConcurrentTemporalQueries(t *testing.T) {
+	tg := smallTemporal(t, 20, 50, 3, 91)
+	e := &CrashSimT{Params: core.Params{Iterations: 60, Seed: 92}}
+	q := Threshold{Theta: 0.02}
+
+	want, err := e.Run(tg, 0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := e.Run(tg, 0, q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(got) != len(want) {
+				t.Errorf("concurrent result %v != sequential %v", got, want)
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("concurrent result %v != sequential %v", got, want)
+					return
+				}
+			}
+			_ = e.Stats() // concurrent reads must be race-free too
+		}()
+	}
+	wg.Wait()
+	if got := e.Stats().Snapshots; got != 3 {
+		t.Errorf("Stats().Snapshots = %d, want 3", got)
 	}
 }
 
