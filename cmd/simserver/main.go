@@ -17,6 +17,14 @@
 // and Monte-Carlo work counters, -pprof mounts /debug/pprof/, and the
 // process drains in-flight requests and exits cleanly on
 // SIGINT/SIGTERM.
+//
+// Query results are cached in a sharded LRU (-cache-bytes, default
+// 64 MiB; 0 disables) with singleflight coalescing, so repeated and
+// concurrent identical queries cost one backend computation. Estimates
+// are deterministic for a fixed seed, so cached results are exact.
+// -cache-ttl adds an optional hard age bound on top of the
+// graph-version invalidation. /health reports the live hit ratio,
+// /stats and /metrics the full cache counters.
 package main
 
 import (
@@ -52,6 +60,10 @@ func main() {
 		timeout   = flag.Duration("timeout", server.DefaultTimeout, "per-query estimation deadline (negative disables)")
 		maxInFl   = flag.Int("max-inflight", server.DefaultMaxInFlight(),
 			"max concurrent query estimates before 429 (negative disables admission control)")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20,
+			"query-result cache capacity in bytes (0 disables caching)")
+		cacheTTL = flag.Duration("cache-ttl", 0,
+			"query-result cache entry lifetime (0 = no age bound; graph-version keying already prevents stale results)")
 		pprofOn = flag.Bool("pprof", false, "mount /debug/pprof/ (trusted ports only)")
 	)
 	flag.Parse()
@@ -67,6 +79,8 @@ func main() {
 		Params:      core.Params{C: *c, Eps: *eps, Iterations: *iters, Seed: *seed},
 		Timeout:     *timeout,
 		MaxInFlight: *maxInFl,
+		CacheBytes:  *cacheBytes,
+		CacheTTL:    *cacheTTL,
 		EnablePprof: *pprofOn,
 	})
 	if err != nil {
@@ -75,6 +89,7 @@ func main() {
 	}
 	log.Printf("serving SimRank queries on %s (algo: %s, graph: n=%d m=%d, query timeout: %v, max in-flight: %d, pprof: %t)",
 		*addr, srv.Algo(), g.NumNodes(), g.NumEdges(), *timeout, *maxInFl, *pprofOn)
+	log.Print("result cache: " + cacheDesc(*cacheBytes, *cacheTTL))
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -101,6 +116,23 @@ func main() {
 		}
 		log.Print("bye")
 	}
+}
+
+// cacheDesc renders the cache configuration for the startup log, so
+// an operator can confirm the serving setup from the first lines of
+// output.
+func cacheDesc(bytes int64, ttl time.Duration) string {
+	if bytes <= 0 {
+		return "disabled (every query recomputes)"
+	}
+	d := fmt.Sprintf("%d MiB sharded LRU with request coalescing", bytes>>20)
+	if bytes < 1<<20 {
+		d = fmt.Sprintf("%d bytes sharded LRU with request coalescing", bytes)
+	}
+	if ttl > 0 {
+		return fmt.Sprintf("%s, ttl %v", d, ttl)
+	}
+	return d + ", no ttl (graph-version invalidation only)"
 }
 
 func load(graphFile, profile string, scale float64, seed uint64) (*crashsim.Graph, error) {

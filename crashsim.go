@@ -30,7 +30,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
+	"crashsim/internal/cache"
 	"crashsim/internal/cluster"
 	"crashsim/internal/core"
 	"crashsim/internal/engine"
@@ -158,6 +160,43 @@ func NewEstimator(ctx context.Context, name string, g *Graph, opt Options) (Esti
 	return engine.New(ctx, name, g, engine.Config{
 		C: opt.C, Eps: opt.Eps, Delta: opt.Delta,
 		Iterations: opt.Iterations, Workers: opt.Workers, Seed: opt.Seed,
+	})
+}
+
+// CacheOptions sizes the optional query-result cache of
+// NewCachedEstimator.
+type CacheOptions struct {
+	// MaxBytes bounds the cache's accounted size. Required (> 0).
+	MaxBytes int64
+	// TTL bounds entry age; zero means entries live until evicted or
+	// their graph version is superseded.
+	TTL time.Duration
+}
+
+// NewCachedEstimator is NewEstimator plus a private query-result cache:
+// repeated identical queries are served from memory and concurrent
+// identical queries trigger one backend computation. Results are
+// bit-identical to the uncached estimator's — estimates are
+// deterministic for a fixed seed — and entries are keyed on the graph's
+// Version, so serving a newly frozen snapshot of an evolving graph
+// through a new estimator never reuses results from the old edge set.
+func NewCachedEstimator(ctx context.Context, name string, g *Graph, opt Options, co CacheOptions) (Estimator, error) {
+	cfg := engine.Config{
+		C: opt.C, Eps: opt.Eps, Delta: opt.Delta,
+		Iterations: opt.Iterations, Workers: opt.Workers, Seed: opt.Seed,
+	}
+	est, err := engine.New(ctx, name, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	qc, err := cache.New(cache.Config{MaxBytes: co.MaxBytes, TTL: co.TTL})
+	if err != nil {
+		return nil, err
+	}
+	return engine.Cached(est, engine.CacheConfig{
+		Cache:   qc,
+		Version: g.Version,
+		Scope:   cfg.Fingerprint(),
 	})
 }
 

@@ -2,7 +2,9 @@ package crashsim_test
 
 import (
 	"bytes"
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"crashsim"
@@ -437,5 +439,37 @@ func TestDatasets(t *testing.T) {
 	}
 	if _, err := crashsim.Dataset("bogus"); err == nil {
 		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestNewCachedEstimatorFacade(t *testing.T) {
+	g := crashsim.PaperExampleGraph()
+	opt := crashsim.Options{Iterations: 300, Seed: 1}
+	ctx := context.Background()
+
+	plain, err := crashsim.NewEstimator(ctx, "crashsim", g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := crashsim.NewCachedEstimator(ctx, "crashsim", g, opt,
+		crashsim.CacheOptions{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.SingleSource(ctx, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ { // cold then warm
+		got, err := cached.SingleSource(ctx, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pass %d: cached estimator diverges from uncached", pass)
+		}
+	}
+	if _, err := crashsim.NewCachedEstimator(ctx, "crashsim", g, opt, crashsim.CacheOptions{}); err == nil {
+		t.Fatal("NewCachedEstimator accepted a zero-byte cache")
 	}
 }

@@ -1,0 +1,390 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crashsim/internal/obs"
+)
+
+func newTest(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{MaxBytes: 0}); err == nil {
+		t.Fatal("New accepted MaxBytes=0")
+	}
+	if _, err := New(Config{MaxBytes: -5}); err == nil {
+		t.Fatal("New accepted negative MaxBytes")
+	}
+	c := newTest(t, Config{MaxBytes: 1 << 20, Shards: 5})
+	if got := len(c.shards); got != 8 {
+		t.Fatalf("Shards=5 should round up to 8, got %d", got)
+	}
+}
+
+func TestGetPut(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 20})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", "value", 10)
+	v, ok := c.Get("k")
+	if !ok || v.(string) != "value" {
+		t.Fatalf("Get = %v, %v; want value, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss", st)
+	}
+	if st.Entries != 1 || st.Bytes != 10+int64(len("k")) {
+		t.Fatalf("occupancy = %d entries / %d bytes; want 1 / %d", st.Entries, st.Bytes, 10+len("k"))
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 20})
+	c.Put("k", 1, 100)
+	c.Put("k", 2, 200)
+	v, ok := c.Get("k")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("Get after replace = %v, %v", v, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 200+int64(len("k")) {
+		t.Fatalf("occupancy after replace = %+v", st)
+	}
+}
+
+// TestLRUEviction pins the byte-accounted LRU on a single shard so the
+// eviction order is fully deterministic.
+func TestLRUEviction(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 300, Shards: 1})
+	c.Put("a", "A", 99) // 100 with key
+	c.Put("b", "B", 99)
+	c.Put("c", "C", 99)
+	// Touch "a" so "b" is the LRU tail.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("d", "D", 99) // over budget: evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %s wrongly evicted", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestOversizedValueNotCached(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 64, Shards: 1})
+	c.Put("huge", "x", 1000)
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized value was cached")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("occupancy after oversized put = %+v", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 20, TTL: time.Minute})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("k", "v", 10)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("expired entry served")
+	}
+	st := c.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("expired entry not reclaimed: %+v", st)
+	}
+}
+
+func TestNoTTLNeverExpires(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 20})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("k", "v", 10)
+	now = now.Add(1000 * time.Hour)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry without TTL expired")
+	}
+}
+
+// TestDoCoalesces is the headline concurrency guarantee: N concurrent
+// identical misses run the compute function exactly once. The leader
+// blocks until every follower has joined the in-flight call, so the
+// test cannot pass by accident of scheduling.
+func TestDoCoalesces(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 20})
+	const n = 16
+	var calls atomic.Int64
+	joined := make(chan struct{}) // closed when all followers are waiting
+
+	var started sync.WaitGroup
+	started.Add(n - 1)
+	leaderIn := make(chan struct{})
+	go func() {
+		// Release the leader only after all followers are registered
+		// in-flight (coalesced counter observed below).
+		started.Wait()
+		for {
+			if c.coalesced.Load() >= n-1 {
+				close(joined)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i > 0 {
+				<-leaderIn // ensure goroutine 0 is the leader
+				started.Done()
+			}
+			v, _, err := c.Do(context.Background(), "key", func(context.Context) (any, int64, error) {
+				calls.Add(1)
+				if i == 0 {
+					close(leaderIn)
+				}
+				<-joined
+				return "computed", 8, nil
+			})
+			results[i], errs[i] = v, err
+		}(i)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times for %d concurrent identical queries, want 1", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i].(string) != "computed" {
+			t.Fatalf("caller %d got %v", i, results[i])
+		}
+	}
+	// The result must now be cached for later callers.
+	if _, ok := c.Get("key"); !ok {
+		t.Fatal("coalesced result not cached")
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 20})
+	boom := errors.New("boom")
+	_, _, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+		return nil, 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("error result was cached")
+	}
+	var calls int
+	v, _, err := c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+		calls++
+		return "ok", 2, nil
+	})
+	if err != nil || v.(string) != "ok" || calls != 1 {
+		t.Fatalf("retry after error: v=%v err=%v calls=%d", v, err, calls)
+	}
+}
+
+// TestDoWaiterSurvivesLeaderCancel: a leader canceled by its own
+// context must not poison a waiter whose context is live — the waiter
+// recomputes for itself.
+func TestDoWaiterSurvivesLeaderCancel(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 20})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderRunning := make(chan struct{})
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.Do(leaderCtx, "k", func(ctx context.Context) (any, int64, error) {
+			close(leaderRunning)
+			<-ctx.Done()
+			return nil, 0, ctx.Err()
+		})
+	}()
+	<-leaderRunning
+
+	waiterDone := make(chan struct{})
+	var waiterVal any
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterVal, _, waiterErr = c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+			return "fresh", 5, nil
+		})
+	}()
+	// Give the waiter a moment to join the in-flight call, then cancel
+	// the leader.
+	for c.coalesced.Load() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancelLeader()
+	wg.Wait()
+	<-waiterDone
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader err = %v, want canceled", leaderErr)
+	}
+	if waiterErr != nil || waiterVal.(string) != "fresh" {
+		t.Fatalf("waiter got (%v, %v), want fresh recompute", waiterVal, waiterErr)
+	}
+}
+
+func TestDoWaiterHonorsOwnContext(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 20})
+	leaderRunning := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), "k", func(context.Context) (any, int64, error) {
+			close(leaderRunning)
+			<-release
+			return "v", 1, nil
+		})
+	}()
+	<-leaderRunning
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func(context.Context) (any, int64, error) {
+		t.Error("canceled waiter must not compute")
+		return nil, 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want canceled", err)
+	}
+	close(release)
+}
+
+func TestHitRatio(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 20})
+	if r := c.HitRatio(); r != 0 {
+		t.Fatalf("empty ratio = %v", r)
+	}
+	c.Put("k", "v", 1)
+	c.Get("k")    // hit
+	c.Get("nope") // miss
+	if r := c.HitRatio(); r != 0.5 {
+		t.Fatalf("ratio = %v, want 0.5", r)
+	}
+}
+
+// TestHitRatioAllocationFree backs the /health fast-path promise: the
+// ratio is two atomic loads, no allocation.
+func TestHitRatioAllocationFree(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 1 << 20})
+	c.Put("k", "v", 1)
+	c.Get("k")
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = c.HitRatio()
+	})
+	if allocs != 0 {
+		t.Fatalf("HitRatio allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestConcurrentMixed hammers every operation under -race.
+func TestConcurrentMixed(t *testing.T) {
+	c := newTest(t, Config{MaxBytes: 4 << 10, Shards: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%37)
+				switch i % 3 {
+				case 0:
+					c.Put(key, i, int64(16+i%64))
+				case 1:
+					c.Get(key)
+				default:
+					_, _, _ = c.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+						return i, 16, nil
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Invariant: accounted bytes match a full rescan.
+	var rescan int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, el := range s.items {
+			rescan += el.Value.(*entry).size
+		}
+		s.mu.Unlock()
+	}
+	if got := c.Stats().Bytes; got != rescan {
+		t.Fatalf("byte accounting drifted: gauge=%d rescan=%d", got, rescan)
+	}
+	if c.Len() != int(c.Stats().Entries) {
+		t.Fatalf("entry accounting drifted: len=%d gauge=%d", c.Len(), c.Stats().Entries)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	reg := obs.NewRegistry()
+	c, _ := New(Config{MaxBytes: 1 << 20, Metrics: reg})
+	c.Put("bench-key", "value", 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get("bench-key"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkHitRatio(b *testing.B) {
+	reg := obs.NewRegistry()
+	c, _ := New(Config{MaxBytes: 1 << 20, Metrics: reg})
+	c.Put("k", "v", 8)
+	c.Get("k")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.HitRatio()
+	}
+}

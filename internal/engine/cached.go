@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"maps"
+	"slices"
+	"strconv"
+	"strings"
+
+	"crashsim/internal/cache"
+	"crashsim/internal/core"
+	"crashsim/internal/graph"
+)
+
+// Result caching. CrashSim's Monte-Carlo estimates are deterministic
+// for a fixed seed and fixed parameters, so a computed result is
+// bit-correct for every later identical request against the same graph
+// state. Cached wraps an Estimator with a cache.Cache so repeated
+// queries are served from memory and N concurrent identical queries
+// trigger exactly one backend computation (singleflight coalescing in
+// the cache layer).
+//
+// Cache keys fold together everything that determines a result:
+//
+//	scope | backend name | graph version | op | query arguments
+//
+// Scope carries the effective-parameter fingerprint (Config.Fingerprint)
+// so one shared cache.Cache can serve estimators with different
+// parameters, and the graph version (graph.Graph.Version, re-read on
+// every request) invalidates entries the moment an edge update or
+// temporal snapshot advance produces a new version — stale entries are
+// never served, they just stop being addressable and age out of the
+// LRU.
+//
+// Like the metrics wrapper, Cached preserves the inner estimator's
+// capabilities: the returned Estimator advertises TopKer/Pairer exactly
+// when the wrapped one does, so the package-level TopK/Pair fallbacks
+// behave identically with and without caching.
+//
+// Values handed to callers are clones of the cached canonical copy
+// (maps and slices are aliasable; a caller mutating its result must not
+// corrupt the cache). Pair scores are values and need no cloning.
+
+// CacheConfig wires an Estimator to a result cache.
+type CacheConfig struct {
+	// Cache is the backing store, required. It may be shared by several
+	// wrapped estimators; Scope and the backend name keep their entries
+	// apart.
+	Cache *cache.Cache
+	// Version reports the served graph's current version; it is re-read
+	// on every request so bumps take effect immediately. Nil means the
+	// graph never changes (version fixed at 0) — correct for
+	// Builder-frozen graphs, wrong for anything mutable.
+	Version func() uint64
+	// Scope namespaces this estimator's entries, typically the
+	// effective-parameter fingerprint (Config.Fingerprint). Estimators
+	// sharing a Cache must not share a (Scope, backend name) pair unless
+	// they are interchangeable.
+	Scope string
+}
+
+// Fingerprint returns a canonical string of every configuration field
+// that affects query results, for use as a cache key scope. Workers is
+// excluded (results are identical for any worker count, so caching
+// across worker settings is both safe and desirable), as is Metrics.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("c=%g,eps=%g,delta=%g,it=%d,seed=%d,rr=%d,rq=%d,ds=%d,xi=%d,xm=%d",
+		c.C, c.Eps, c.Delta, c.Iterations, c.Seed,
+		c.ReadsR, c.ReadsRQ, c.SlingDSamples, c.ExactIterations, c.ExactMaxNodes)
+}
+
+// Cached wraps est so query results are cached in cc.Cache and
+// concurrent identical queries are coalesced. It fails fast on a nil
+// cache rather than silently serving uncached.
+func Cached(est Estimator, cc CacheConfig) (Estimator, error) {
+	if cc.Cache == nil {
+		return nil, fmt.Errorf("engine: CacheConfig.Cache must not be nil")
+	}
+	if cc.Version == nil {
+		cc.Version = func() uint64 { return 0 }
+	}
+	base := &cached{inner: est, cc: cc, prefix: cc.Scope + "|" + est.Name() + "|"}
+	_, hasTopK := est.(TopKer)
+	_, hasPair := est.(Pairer)
+	switch {
+	case hasTopK && hasPair:
+		return cachedTopKPair{base}, nil
+	case hasTopK:
+		return cachedTopK{base}, nil
+	case hasPair:
+		return cachedPair{base}, nil
+	default:
+		return base, nil
+	}
+}
+
+type cached struct {
+	inner  Estimator
+	cc     CacheConfig
+	prefix string // scope|backend| — shared by every key
+}
+
+func (e *cached) Name() string { return e.inner.Name() }
+
+// key assembles scope|backend|version|op|args.
+func (e *cached) key(op string, args ...int64) string {
+	var b strings.Builder
+	b.Grow(len(e.prefix) + len(op) + 8 + 16*len(args))
+	b.WriteString(e.prefix)
+	b.WriteString(strconv.FormatUint(e.cc.Version(), 10))
+	b.WriteByte('|')
+	b.WriteString(op)
+	for _, a := range args {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatInt(a, 10))
+	}
+	return b.String()
+}
+
+// Accounted sizes are estimates of in-memory footprint, not exact
+// byte counts: enough to keep the byte budget honest without weighing
+// every map bucket.
+const (
+	scoresEntrySize = 48 // NodeID key + float64 value + bucket overhead
+	scoresBaseSize  = 64
+	topKEntrySize   = 16 // TopKResult{int32, float64} + padding
+	topKBaseSize    = 64
+	pairSize        = 16
+)
+
+func (e *cached) SingleSource(ctx context.Context, u graph.NodeID, omega []graph.NodeID) (core.Scores, error) {
+	args := make([]int64, 0, 1+len(omega))
+	args = append(args, int64(u))
+	for _, v := range omega {
+		args = append(args, int64(v))
+	}
+	op := "ss"
+	if omega != nil {
+		op = "ssw" // distinguishes a nil omega from an empty one
+	}
+	v, _, err := e.cc.Cache.Do(ctx, e.key(op, args...), func(ctx context.Context) (any, int64, error) {
+		s, err := e.inner.SingleSource(ctx, u, omega)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s, scoresBaseSize + scoresEntrySize*int64(len(s)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Clone on every path: the canonical copy stays private to the
+	// cache, so callers may mutate their result freely.
+	return maps.Clone(v.(core.Scores)), nil
+}
+
+func (e *cached) topKThrough(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
+	v, _, err := e.cc.Cache.Do(ctx, e.key("topk", int64(u), int64(k)), func(ctx context.Context) (any, int64, error) {
+		r, err := e.inner.(TopKer).TopK(ctx, u, k)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, topKBaseSize + topKEntrySize*int64(len(r)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return slices.Clone(v.([]core.TopKResult)), nil
+}
+
+func (e *cached) pairThrough(ctx context.Context, u, v graph.NodeID) (float64, error) {
+	r, _, err := e.cc.Cache.Do(ctx, e.key("pair", int64(u), int64(v)), func(ctx context.Context) (any, int64, error) {
+		s, err := e.inner.(Pairer).Pair(ctx, u, v)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s, pairSize, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.(float64), nil
+}
+
+type cachedTopK struct{ *cached }
+
+func (e cachedTopK) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
+	return e.topKThrough(ctx, u, k)
+}
+
+type cachedPair struct{ *cached }
+
+func (e cachedPair) Pair(ctx context.Context, u, v graph.NodeID) (float64, error) {
+	return e.pairThrough(ctx, u, v)
+}
+
+type cachedTopKPair struct{ *cached }
+
+func (e cachedTopKPair) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
+	return e.topKThrough(ctx, u, k)
+}
+
+func (e cachedTopKPair) Pair(ctx context.Context, u, v graph.NodeID) (float64, error) {
+	return e.pairThrough(ctx, u, v)
+}

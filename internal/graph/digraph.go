@@ -13,6 +13,7 @@ type DiGraph struct {
 	in       [][]NodeID
 	out      [][]NodeID
 	arcs     int
+	gen      uint64 // bumped once per successful edge mutation
 }
 
 // NewDiGraph returns an empty mutable graph with n nodes.
@@ -38,6 +39,14 @@ func (d *DiGraph) NumEdges() int {
 
 // Directed reports whether the graph is directed.
 func (d *DiGraph) Directed() bool { return d.directed }
+
+// Generation is a monotonically increasing edge-mutation counter: it
+// bumps once per successful AddEdge or RemoveEdge. Freeze stamps it
+// onto the immutable snapshot as Graph.Version, so downstream caches
+// can tell whether two snapshots of the same evolving graph share an
+// edge set. Generation never decreases — removing an edge changes the
+// graph, so it must change the version too.
+func (d *DiGraph) Generation() uint64 { return d.gen }
 
 // In returns the in-neighbor list of v; the slice is shared and must not
 // be modified by the caller. Order is unspecified.
@@ -71,6 +80,7 @@ func (d *DiGraph) AddEdge(x, y NodeID) error {
 	if !d.directed {
 		d.addArc(y, x)
 	}
+	d.gen++
 	return nil
 }
 
@@ -87,6 +97,7 @@ func (d *DiGraph) RemoveEdge(x, y NodeID) error {
 	if !d.directed {
 		d.removeArc(y, x)
 	}
+	d.gen++
 	return nil
 }
 
@@ -121,6 +132,7 @@ func (d *DiGraph) Clone() *DiGraph {
 		in:       make([][]NodeID, len(d.in)),
 		out:      make([][]NodeID, len(d.out)),
 		arcs:     d.arcs,
+		gen:      d.gen,
 	}
 	for v := range d.in {
 		c.in[v] = append([]NodeID(nil), d.in[v]...)
@@ -129,7 +141,8 @@ func (d *DiGraph) Clone() *DiGraph {
 	return c
 }
 
-// Freeze produces an immutable CSR view of the current state.
+// Freeze produces an immutable CSR view of the current state, stamped
+// with the DiGraph's Generation as its Version.
 func (d *DiGraph) Freeze() *Graph {
 	arcs := make([]Edge, 0, d.arcs)
 	for x := NodeID(0); int(x) < len(d.out); x++ {
@@ -137,7 +150,9 @@ func (d *DiGraph) Freeze() *Graph {
 			arcs = append(arcs, Edge{X: x, Y: y})
 		}
 	}
-	return fromArcs(len(d.in), d.directed, arcs)
+	g := fromArcs(len(d.in), d.directed, arcs)
+	g.version = d.gen
+	return g
 }
 
 // Edges returns the edge set: each directed arc once, or each undirected

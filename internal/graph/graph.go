@@ -29,6 +29,7 @@ type Edge struct {
 type Graph struct {
 	n        int
 	directed bool
+	version  uint64 // generation of the DiGraph this was frozen from
 
 	inOff  []int32  // len n+1; in-adjacency offsets
 	inAdj  []NodeID // concatenated in-neighbor lists, sorted per node
@@ -38,6 +39,14 @@ type Graph struct {
 
 // NumNodes returns the number of nodes n.
 func (g *Graph) NumNodes() int { return g.n }
+
+// Version identifies the edge-set state this snapshot was frozen from.
+// Graphs frozen from a DiGraph carry its Generation, so two freezes of
+// an evolving graph get equal versions exactly when no edge changed in
+// between — the invalidation signal the serving layer's result cache
+// keys on. Builder-frozen graphs report 0: they never change, so any
+// constant is a correct version.
+func (g *Graph) Version() uint64 { return g.version }
 
 // NumEdges returns the number of directed arcs for directed graphs, or the
 // number of undirected edges for undirected graphs.

@@ -1,0 +1,106 @@
+package graph
+
+import "testing"
+
+// The serving layer's result cache keys on Graph.Version /
+// DiGraph.Generation; these tests pin the contract: every edge
+// mutation bumps the generation (insertions and removals alike),
+// failed mutations do not, and Freeze stamps the generation onto the
+// immutable snapshot.
+
+func TestDiGraphGeneration(t *testing.T) {
+	d := NewDiGraph(4, true)
+	if d.Generation() != 0 {
+		t.Fatalf("fresh generation = %d, want 0", d.Generation())
+	}
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation() != 1 {
+		t.Fatalf("after add: generation = %d, want 1", d.Generation())
+	}
+	// Failed mutations must not bump: the edge set did not change.
+	if err := d.AddEdge(0, 1); err == nil {
+		t.Fatal("duplicate add succeeded")
+	}
+	if err := d.RemoveEdge(2, 3); err == nil {
+		t.Fatal("absent remove succeeded")
+	}
+	if err := d.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop add succeeded")
+	}
+	if d.Generation() != 1 {
+		t.Fatalf("after failed mutations: generation = %d, want 1", d.Generation())
+	}
+	// A removal changes the graph, so it must change the version too —
+	// otherwise add+remove would round-trip back to a generation whose
+	// cached results were computed on a different edge set.
+	if err := d.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation() != 2 {
+		t.Fatalf("after remove: generation = %d, want 2", d.Generation())
+	}
+}
+
+func TestDiGraphGenerationUndirected(t *testing.T) {
+	d := NewDiGraph(3, false)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// One logical edge = one generation bump, even though two arcs are
+	// stored internally.
+	if d.Generation() != 1 {
+		t.Fatalf("undirected add bumped generation to %d, want 1", d.Generation())
+	}
+}
+
+func TestCloneCopiesGeneration(t *testing.T) {
+	d := NewDiGraph(3, true)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	if c.Generation() != d.Generation() {
+		t.Fatalf("clone generation = %d, want %d", c.Generation(), d.Generation())
+	}
+	// Diverging mutations diverge the generations independently.
+	if err := c.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation() != 1 || c.Generation() != 2 {
+		t.Fatalf("generations after divergence: original=%d clone=%d, want 1 and 2",
+			d.Generation(), c.Generation())
+	}
+}
+
+func TestFreezeStampsVersion(t *testing.T) {
+	d := NewDiGraph(4, true)
+	for _, e := range []Edge{{0, 1}, {1, 2}, {2, 3}} {
+		if err := d.AddEdge(e.X, e.Y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g1 := d.Freeze()
+	if g1.Version() != 3 {
+		t.Fatalf("frozen version = %d, want 3", g1.Version())
+	}
+	// Freezing again without mutations yields the same version: the
+	// edge sets are identical, so cached results remain valid.
+	if g2 := d.Freeze(); g2.Version() != g1.Version() {
+		t.Fatalf("re-freeze changed version: %d vs %d", g2.Version(), g1.Version())
+	}
+	if err := d.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g3 := d.Freeze(); g3.Version() <= g1.Version() {
+		t.Fatalf("version after mutation = %d, want > %d", g3.Version(), g1.Version())
+	}
+}
+
+func TestBuilderGraphVersionZero(t *testing.T) {
+	g := NewBuilder(3, true).AddEdge(0, 1).MustFreeze()
+	if g.Version() != 0 {
+		t.Fatalf("builder-frozen version = %d, want 0", g.Version())
+	}
+}

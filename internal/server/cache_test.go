@@ -1,0 +1,228 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"crashsim/internal/core"
+	"crashsim/internal/graph"
+	"crashsim/internal/obs"
+)
+
+func cachedServer(t *testing.T) (*Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s, err := New(Config{
+		Graph:      graph.PaperExample(),
+		Params:     core.Params{Iterations: 300, Seed: 1},
+		CacheBytes: 1 << 20,
+		CacheTTL:   time.Minute,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, reg
+}
+
+// TestCachedQueriesServedFromCache: the second identical query must be
+// a cache hit and return byte-identical JSON.
+func TestCachedQueriesServedFromCache(t *testing.T) {
+	s, reg := cachedServer(t)
+	paths := []string{"/singlesource?u=0&k=3", "/topk?u=1&k=2", "/pair?u=0&v=1"}
+	for _, path := range paths {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec1 := httptest.NewRecorder()
+		s.ServeHTTP(rec1, req)
+		rec2 := httptest.NewRecorder()
+		s.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec1.Code != http.StatusOK || rec2.Code != http.StatusOK {
+			t.Fatalf("%s: %d / %d", path, rec1.Code, rec2.Code)
+		}
+		if rec1.Body.String() != rec2.Body.String() {
+			t.Errorf("%s: repeated query diverged:\n%s\nvs\n%s", path, rec1.Body, rec2.Body)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cache.hits"] < uint64(len(paths)) {
+		t.Errorf("cache.hits = %d after %d repeated queries", snap.Counters["cache.hits"], len(paths))
+	}
+	if snap.Counters["cache.misses"] < uint64(len(paths)) {
+		t.Errorf("cache.misses = %d, want >= %d cold queries", snap.Counters["cache.misses"], len(paths))
+	}
+}
+
+// TestCachedMatchesUncached: a cached server must return exactly what
+// an uncached server returns for the same configuration.
+func TestCachedMatchesUncached(t *testing.T) {
+	cached, _ := cachedServer(t)
+	plain, err := New(Config{
+		Graph:   graph.PaperExample(),
+		Params:  core.Params{Iterations: 300, Seed: 1},
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/singlesource?u=2&k=5", "/topk?u=3&k=4", "/pair?u=1&v=4"} {
+		recC := httptest.NewRecorder()
+		cached.ServeHTTP(recC, httptest.NewRequest(http.MethodGet, path, nil))
+		recP := httptest.NewRecorder()
+		plain.ServeHTTP(recP, httptest.NewRequest(http.MethodGet, path, nil))
+		if recC.Body.String() != recP.Body.String() {
+			t.Errorf("%s: cached server diverges from uncached:\n%s\nvs\n%s", path, recC.Body, recP.Body)
+		}
+	}
+}
+
+func TestHealthReportsHitRatio(t *testing.T) {
+	s, _ := cachedServer(t)
+	// Generate one miss and one hit so the ratio is 0.5.
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/singlesource?u=0&k=3", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query %d: %d", i, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/health", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("health: %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("health body %q: %v", rec.Body.String(), err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("health status = %v", body["status"])
+	}
+	ratio, ok := body["cache_hit_ratio"].(float64)
+	if !ok {
+		t.Fatalf("cache_hit_ratio missing from %v", body)
+	}
+	if ratio != 0.5 {
+		t.Errorf("cache_hit_ratio = %v, want 0.5", ratio)
+	}
+}
+
+func TestHealthWithoutCacheOmitsRatio(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/health", nil))
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("health body %q: %v", rec.Body.String(), err)
+	}
+	if _, present := body["cache_hit_ratio"]; present {
+		t.Errorf("cache_hit_ratio present without a cache: %v", body)
+	}
+}
+
+// TestHealthBodyAllocationFree enforces the condition for reporting
+// the hit ratio on the health fast path at all: building the payload
+// into a pre-sized buffer must not allocate.
+func TestHealthBodyAllocationFree(t *testing.T) {
+	s, _ := cachedServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/singlesource?u=0&k=3", nil))
+	buf := make([]byte, 0, 128)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = s.healthBody(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("healthBody allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestStatsIncludesCache(t *testing.T) {
+	s, _ := cachedServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := body["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing cache section: %v", body)
+	}
+	if cs["max_bytes"].(float64) != 1<<20 {
+		t.Errorf("cache max_bytes = %v", cs["max_bytes"])
+	}
+	if _, ok := body["graphVersion"]; !ok {
+		t.Errorf("stats missing graphVersion: %v", body)
+	}
+}
+
+func TestMetricsIncludesCache(t *testing.T) {
+	s, _ := cachedServer(t)
+	// One miss + one hit so the counters are non-trivial.
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/pair?u=0&v=1", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query: %d", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var body struct {
+		Cache    *map[string]any   `json:"cache"`
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Cache == nil {
+		t.Fatal("metrics missing cache object")
+	}
+	if body.Counters["cache.hits"] < 1 {
+		t.Errorf("cache.hits = %d, want >= 1", body.Counters["cache.hits"])
+	}
+	if body.Counters["cache.misses"] < 1 {
+		t.Errorf("cache.misses = %d, want >= 1", body.Counters["cache.misses"])
+	}
+}
+
+func BenchmarkHealthBody(b *testing.B) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{
+		Graph:      graph.PaperExample(),
+		Params:     core.Params{Iterations: 100, Seed: 1},
+		CacheBytes: 1 << 20,
+		Metrics:    reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.healthBody(buf[:0])
+	}
+}
+
+func BenchmarkHealthHandler(b *testing.B) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{
+		Graph:      graph.PaperExample(),
+		Params:     core.Params{Iterations: 100, Seed: 1},
+		CacheBytes: 1 << 20,
+		Metrics:    reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/health", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+	}
+}

@@ -1,7 +1,7 @@
 // Package server exposes SimRank queries over HTTP with a small JSON
 // API, turning the library into a queryable service:
 //
-//	GET /health              -> {"status":"ok","algo":"crashsim"}
+//	GET /health              -> {"status":"ok","algo":"crashsim","cache_hit_ratio":0.97}
 //	GET /stats               -> graph statistics
 //	GET /metrics             -> serving metrics (see handleMetrics)
 //	GET /singlesource?u=3&k=10
@@ -23,6 +23,15 @@
 // latency for everyone. /health, /stats and /metrics stay outside the
 // gate so load balancers and dashboards see a saturated server, not a
 // dead one.
+//
+// Result caching: with Config.CacheBytes set, query results are served
+// from a sharded LRU (internal/cache) keyed on backend, effective
+// parameters and graph version, with singleflight coalescing so a
+// thundering herd on one hot node costs a single backend computation.
+// Estimates are deterministic for a fixed seed, so a cached result is
+// exactly what recomputing would return. Cache occupancy and hit/miss/
+// coalesced counters appear on /stats and /metrics, and /health gains
+// an allocation-free cache_hit_ratio field.
 package server
 
 import (
@@ -34,8 +43,10 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
+	"crashsim/internal/cache"
 	"crashsim/internal/core"
 	"crashsim/internal/engine"
 	"crashsim/internal/graph"
@@ -74,6 +85,17 @@ type Config struct {
 	// get 429 with a Retry-After header. Zero means DefaultMaxInFlight;
 	// negative disables admission control.
 	MaxInFlight int
+	// CacheBytes bounds the query-result cache's accounted size; zero
+	// or negative disables caching. Sizing guidance: a single-source
+	// result costs ~48 bytes per non-zero-score node, so 64 MiB holds
+	// full results for roughly 1400 hub sources on a 10^6-node graph —
+	// usually far more than the hot query set.
+	CacheBytes int64
+	// CacheTTL bounds every cache entry's age; zero means entries live
+	// until evicted or their graph version is superseded. Version-keyed
+	// invalidation already prevents stale-graph results, so a TTL is
+	// only needed when operators want a hard recency bound as well.
+	CacheTTL time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
 	// CPU/heap/goroutine profiling. Off by default: profiles reveal
 	// internals, so only enable on trusted ports.
@@ -91,6 +113,12 @@ type Server struct {
 	est   engine.Estimator
 	mux   *http.ServeMux
 	start time.Time
+
+	// Result cache (nil when disabled) and the preformatted static
+	// part of the /health payload, so the health fast path is a few
+	// appends into a pooled buffer rather than a JSON encode.
+	qcache       *cache.Cache
+	healthPrefix string
 
 	// Admission gate (nil when disabled) plus its observability.
 	sem      chan struct{}
@@ -131,22 +159,44 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.Default
 	}
-	est, err := engine.New(context.Background(), cfg.Algo, cfg.Graph, engine.Config{
+	ecfg := engine.Config{
 		C: cfg.Params.C, Eps: cfg.Params.Eps, Delta: cfg.Params.Delta,
 		Iterations: cfg.Params.Iterations, Workers: cfg.Params.Workers,
 		Seed: cfg.Params.Seed, Metrics: cfg.Metrics,
-	})
+	}
+	est, err := engine.New(context.Background(), cfg.Algo, cfg.Graph, ecfg)
 	if err != nil {
 		return nil, err
 	}
+	var qc *cache.Cache
+	if cfg.CacheBytes > 0 {
+		qc, err = cache.New(cache.Config{
+			MaxBytes: cfg.CacheBytes,
+			TTL:      cfg.CacheTTL,
+			Metrics:  cfg.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		est, err = engine.Cached(est, engine.CacheConfig{
+			Cache:   qc,
+			Version: cfg.Graph.Version,
+			Scope:   ecfg.Fingerprint(),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg: cfg, est: est, mux: http.NewServeMux(), start: time.Now(),
+		qcache:   qc,
 		reg:      cfg.Metrics,
 		inflight: cfg.Metrics.Gauge("server.inflight"),
 		served:   cfg.Metrics.Counter("server.queries"),
 		rejected: cfg.Metrics.Counter("server.rejected"),
 		latency:  cfg.Metrics.Histogram("server.latency"),
 	}
+	s.healthPrefix = `{"status":"ok","algo":"` + est.Name() + `"`
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -237,23 +287,57 @@ func writeQueryErr(w http.ResponseWriter, err error) {
 	writeErr(w, http.StatusInternalServerError, "%v", err)
 }
 
+// healthBufPool recycles /health payload buffers. Pointer-to-slice so
+// Put does not allocate a new interface box per request.
+var healthBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 128)
+	return &b
+}}
+
+// healthBody appends the /health payload to buf: the preformatted
+// status/algo prefix plus, when caching is enabled, the live cache hit
+// ratio. The ratio is two atomic loads and the append path never grows
+// a pooled buffer past its initial capacity, so this function is
+// allocation-free — TestHealthBodyAllocationFree and
+// BenchmarkHealthBody in this package enforce it, which is the
+// condition for keeping the ratio on the health fast path at all.
+func (s *Server) healthBody(buf []byte) []byte {
+	buf = append(buf, s.healthPrefix...)
+	if s.qcache != nil {
+		buf = append(buf, `,"cache_hit_ratio":`...)
+		buf = strconv.AppendFloat(buf, s.qcache.HitRatio(), 'f', 4, 64)
+	}
+	return append(buf, '}', '\n')
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "algo": s.est.Name()})
+	bp := healthBufPool.Get().(*[]byte)
+	buf := s.healthBody((*bp)[:0])
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+	*bp = buf
+	healthBufPool.Put(bp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := graph.ComputeStats(s.cfg.Graph)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"nodes":       st.Nodes,
-		"edges":       st.Edges,
-		"directed":    st.Directed,
-		"meanInDeg":   st.MeanInDeg,
-		"maxInDeg":    st.MaxInDeg,
-		"danglingIn":  st.DanglingIn,
-		"danglingOut": st.DanglingOut,
-		"medianInDeg": st.MedianInDeg,
-		"algo":        s.est.Name(),
-	})
+	body := map[string]any{
+		"nodes":        st.Nodes,
+		"edges":        st.Edges,
+		"directed":     st.Directed,
+		"meanInDeg":    st.MeanInDeg,
+		"maxInDeg":     st.MaxInDeg,
+		"danglingIn":   st.DanglingIn,
+		"danglingOut":  st.DanglingOut,
+		"medianInDeg":  st.MedianInDeg,
+		"algo":         s.est.Name(),
+		"graphVersion": s.cfg.Graph.Version(),
+	}
+	if s.qcache != nil {
+		body["cache"] = s.qcache.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics serves a JSON snapshot of the serving metrics:
@@ -272,17 +356,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // observations above the last bound. With the default registry the
 // snapshot includes internal/core's process-wide work counters
 // (core.walks, core.pool.*, core.prefilter_pruned, core.temporal.*).
+// With caching enabled the counters include cache.hits, cache.misses,
+// cache.coalesced, cache.evictions and cache.expired, the gauges
+// cache.bytes and cache.entries, and the top level carries a "cache"
+// object with the same occupancy plus configuration.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.reg.Snapshot()
+	var cs *cache.Stats
+	if s.qcache != nil {
+		st := s.qcache.Stats()
+		cs = &st
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Algo          string  `json:"algo"`
-		UptimeSeconds float64 `json:"uptime_seconds"`
-		MaxInFlight   int     `json:"max_inflight"`
+		Algo          string       `json:"algo"`
+		UptimeSeconds float64      `json:"uptime_seconds"`
+		MaxInFlight   int          `json:"max_inflight"`
+		Cache         *cache.Stats `json:"cache,omitempty"`
 		obs.Snapshot
 	}{
 		Algo:          s.est.Name(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		MaxInFlight:   s.cfg.MaxInFlight,
+		Cache:         cs,
 		Snapshot:      snap,
 	})
 }

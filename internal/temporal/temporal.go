@@ -66,6 +66,14 @@ func (tg *Graph) Delta(t int) Delta { return tg.deltas[t] }
 // Snapshot materializes snapshot t as an immutable CSR graph. For
 // sequential access over many snapshots, use a Cursor instead: Snapshot
 // replays deltas from the start and costs O(t·Δ + m).
+//
+// The returned graph's Version is the cursor's working-graph
+// Generation after replaying t deltas, so it is deterministic for a
+// given t, strictly increases across snapshots separated by non-empty
+// deltas, and stays equal across empty deltas (where the edge sets —
+// and therefore any cached query results — really are identical).
+// Result caches key on this version to avoid serving scores from a
+// superseded snapshot.
 func (tg *Graph) Snapshot(t int) (*graph.Graph, error) {
 	if t < 0 || t >= tg.NumSnapshots() {
 		return nil, fmt.Errorf("temporal: snapshot %d out of range [0,%d)", t, tg.NumSnapshots())
@@ -114,7 +122,9 @@ func (c *Cursor) Err() error { return c.err }
 // snapshot. Callers must not modify it; it is invalidated by Next.
 func (c *Cursor) Working() *graph.DiGraph { return c.cur }
 
-// Freeze returns an immutable CSR view of the current snapshot.
+// Freeze returns an immutable CSR view of the current snapshot,
+// stamped with the working graph's Generation as its Version (see
+// Graph.Snapshot for the monotonicity guarantees caches rely on).
 func (c *Cursor) Freeze() *graph.Graph { return c.cur.Freeze() }
 
 // Delta returns the delta that Next will apply, or a zero Delta at the
