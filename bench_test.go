@@ -126,6 +126,18 @@ func BenchmarkScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelComparison regenerates the crash-kernel before/after
+// comparison (legacy map kernel vs compiled frozen tree) behind
+// BENCH_crashsim.json.
+func BenchmarkKernelComparison(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Kernel(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMemory regenerates the index-footprint comparison.
 func BenchmarkMemory(b *testing.B) {
 	cfg := benchConfig()

@@ -5,10 +5,10 @@
 //
 //	repro [flags] [experiment ...]
 //
-// Experiments: table2, table3, example2, fig5, fig6, fig7, ablation, all
-// (default: all). Flags tune scale and budgets; the defaults finish in a
-// few minutes. EXPERIMENTS.md records committed results with the exact
-// flags used.
+// Experiments: table2, table3, example2, fig5, fig6, fig7, ablation,
+// extra, scaling, memory, kernel, all (default: all). Flags tune scale
+// and budgets; the defaults finish in a few minutes. EXPERIMENTS.md
+// records committed results with the exact flags used.
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 	flag.StringVar(&cfg.Fig7Query, "fig7-query", "", "fig7 query type: trend or threshold (default trend)")
 	seed := flag.Uint64("seed", 0, "experiment seed (default 42)")
 	format := flag.String("format", "table", "output format: table or csv")
+	kernelJSON := flag.String("kernel-json", "", "if set, the kernel experiment also writes its machine-readable comparison to this file (e.g. BENCH_crashsim.json)")
 	flag.Parse()
 	cfg.Seed = *seed
 	print := func(rep *bench.Report) error { return rep.Fprint(os.Stdout) }
@@ -48,22 +49,41 @@ func main() {
 		experiments = []string{"all"}
 	}
 	for _, name := range experiments {
-		if err := run(name, cfg, print); err != nil {
+		if err := run(name, cfg, print, *kernelJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(name string, cfg bench.Config, print func(*bench.Report) error) error {
+func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJSON string) error {
 	switch name {
 	case "all":
-		for _, e := range []string{"table2", "table3", "example2", "fig5", "fig6", "fig7", "ablation", "extra", "scaling", "memory"} {
-			if err := run(e, cfg, print); err != nil {
+		for _, e := range []string{"table2", "table3", "example2", "fig5", "fig6", "fig7", "ablation", "extra", "scaling", "memory", "kernel"} {
+			if err := run(e, cfg, print, kernelJSON); err != nil {
 				return err
 			}
 		}
 		return nil
+	case "kernel":
+		cmp, rep, err := bench.Kernel(cfg)
+		if err != nil {
+			return err
+		}
+		if kernelJSON != "" {
+			f, err := os.Create(kernelJSON)
+			if err != nil {
+				return err
+			}
+			if err := cmp.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return print(rep)
 	case "table2":
 		_, rep, err := bench.Table2()
 		if err != nil {
@@ -132,6 +152,6 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error) error {
 		}
 		return print(rep)
 	default:
-		return fmt.Errorf("unknown experiment %q (want table2, table3, example2, fig5, fig6, fig7, ablation, extra, scaling, memory, all)", name)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, example2, fig5, fig6, fig7, ablation, extra, scaling, memory, kernel, all)", name)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 
 	"crashsim/internal/graph"
@@ -24,12 +25,15 @@ const ctxCheckInterval = 1024
 // uniformly chosen in-neighbor; it also stops at nodes without
 // in-neighbors and after maxSteps steps. The returned slice holds the
 // visited nodes (v first), so it has between 1 and maxSteps+1 elements.
-func SampleWalk(g adjacency, v graph.NodeID, c float64, maxSteps int, r *rng.Source, buf []graph.NodeID) []graph.NodeID {
-	sc := math.Sqrt(c)
+//
+// sqrtC is √c, hoisted to the caller: the estimator invokes SampleWalk
+// n_r times per candidate and must not recompute the square root per
+// walk.
+func SampleWalk(g adjacency, v graph.NodeID, sqrtC float64, maxSteps int, r *rng.Source, buf []graph.NodeID) []graph.NodeID {
 	buf = append(buf[:0], v)
 	cur := v
 	for step := 0; step < maxSteps; step++ {
-		if r.Float64() >= sc {
+		if r.Float64() >= sqrtC {
 			break
 		}
 		in := g.In(cur)
@@ -133,9 +137,13 @@ func checkSource(g *graph.Graph, u graph.NodeID) error {
 // candidate draws from its own random stream, which makes results
 // invariant to the worker count and to the composition of omega.
 //
-// Scores accumulate in a pooled dense array indexed by node (workers
-// write disjoint entries, so no locking is needed) and convert to the
-// public Scores map only at the end.
+// The sparse build-time tree is first compiled into its flat FrozenTree
+// form (unless p.DisableFrozenKernel keeps the legacy map kernel for
+// the ablation), so the per-step crash check inside the walk loop is an
+// array load instead of a hash lookup. Scores accumulate in a pooled
+// dense array indexed by node (workers write disjoint entries, so no
+// locking is needed) and convert to the public Scores map only at the
+// end.
 func estimate(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params, tree *ReachTree) (Scores, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -159,24 +167,54 @@ func estimate(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph
 	}
 
 	dense := sc.dense
+	sqrtC := math.Sqrt(p.C)
 
 	statCandidates.Add(uint64(len(omega)))
+
+	// Compile the frozen form only when the sampling budget amortizes the
+	// compile sweep: freezing costs one pass per tree entry, a fused walk
+	// saves on the order of one entry's cost, so below ~one walk per
+	// entry (tiny candidate sets from CrashSim-T's pruning, minuscule
+	// iteration counts) the legacy kernel is the faster end-to-end choice.
+	// Scores are bit-identical either way, so the switch is invisible.
+	var ft *FrozenTree
+	if !p.DisableFrozenKernel && int64(len(omega))*int64(nr) >= int64(tree.Support()) {
+		ft = acquireFrozen(pooled)
+		ft.compile(tree, n)
+		ft.buildStep1(g)
+		defer releaseFrozen(ft, pooled)
+	}
 
 	// Zero-score prefilter: a candidate's walk can only crash into the
 	// source tree if the candidate is forward-reachable (via out-edges)
 	// from some tree node within l_max hops. Everything else provably
 	// scores 0, so it is excluded before any sampling — on graphs with
 	// small reverse neighborhoods (e.g. citation graphs with many
-	// uncited papers) this removes most of the work.
+	// uncited papers) this removes most of the work. The frozen path
+	// runs the BFS over a pooled bitset; the legacy path keeps the map
+	// form so the ablation measures the old kernel end to end.
 	live := omega
 	if !p.DisablePrefilter {
-		reach := forwardReach(g, tree.Nodes(), p.Lmax)
 		live = sc.live[:0]
-		for _, v := range omega {
-			if _, ok := reach[v]; ok && g.InDegree(v) > 0 {
-				live = append(live, v)
-			} else if v == u {
-				dense[v] = 1
+		if ft != nil {
+			reach := newNodeBitset(sc.reach, n)
+			sc.frontier, sc.next = forwardReachBits(g, ft.SupportNodes(), p.Lmax, reach, sc.frontier, sc.next)
+			sc.reach = reach
+			for _, v := range omega {
+				if reach.Has(v) && g.InDegree(v) > 0 {
+					live = append(live, v)
+				} else if v == u {
+					dense[v] = 1
+				}
+			}
+		} else {
+			reach := forwardReach(g, tree.Nodes(), p.Lmax)
+			for _, v := range omega {
+				if _, ok := reach[v]; ok && g.InDegree(v) > 0 {
+					live = append(live, v)
+				} else if v == u {
+					dense[v] = 1
+				}
 			}
 		}
 		sc.live = live
@@ -191,11 +229,16 @@ func estimate(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph
 		walk := sc.walk
 		for _, v := range live {
 			if err := ctx.Err(); err != nil {
+				sc.walk = walk
 				return nil, err
 			}
 			var s float64
 			var err error
-			s, walk, err = estimateCandidate(ctx, g, u, v, p, tree, nr, walk)
+			if ft != nil {
+				s, err = estimateCandidateFrozen(ctx, g, u, v, p, ft, nr, sqrtC)
+			} else {
+				s, walk, err = estimateCandidate(ctx, g, u, v, p, tree, nr, sqrtC, walk)
+			}
 			if err != nil {
 				sc.walk = walk
 				return nil, err
@@ -214,22 +257,32 @@ func estimate(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph
 			wg.Add(1)
 			go func(part []graph.NodeID) {
 				defer wg.Done()
-				wb := acquireWalk(pooled)
-				defer releaseWalk(wb, pooled)
-				walk := *wb
+				var walk []graph.NodeID
+				var wb *[]graph.NodeID
+				if ft == nil {
+					wb = acquireWalk(pooled)
+					defer releaseWalk(wb, pooled)
+					walk = *wb
+				}
 				for _, v := range part {
 					if ctx.Err() != nil {
 						break
 					}
 					var s float64
 					var err error
-					s, walk, err = estimateCandidate(ctx, g, u, v, p, tree, nr, walk)
+					if ft != nil {
+						s, err = estimateCandidateFrozen(ctx, g, u, v, p, ft, nr, sqrtC)
+					} else {
+						s, walk, err = estimateCandidate(ctx, g, u, v, p, tree, nr, sqrtC, walk)
+					}
 					if err != nil {
 						break // only ctx errors escape; reported below
 					}
 					dense[v] = s
 				}
-				*wb = walk
+				if wb != nil {
+					*wb = walk
+				}
 			}(live[lo:hi])
 		}
 		wg.Wait()
@@ -247,7 +300,8 @@ func estimate(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph
 
 // forwardReach returns the set of nodes reachable from any source node
 // by following out-edges within depth hops, sources included — one
-// multi-source BFS, O(n + m).
+// multi-source BFS, O(n + m). It backs the legacy (pre-frozen) kernel;
+// the hot path uses forwardReachBits.
 func forwardReach(g *graph.Graph, sources []graph.NodeID, depth int) map[graph.NodeID]struct{} {
 	reach := make(map[graph.NodeID]struct{}, len(sources)*2)
 	frontier := make([]graph.NodeID, 0, len(sources))
@@ -272,15 +326,17 @@ func forwardReach(g *graph.Graph, sources []graph.NodeID, depth int) map[graph.N
 	return reach
 }
 
-// estimateCandidate runs the n_r walks for one candidate and returns the
-// averaged crash probability together with the (possibly grown) walk
-// buffer. The only error it can return is ctx.Err().
-func estimateCandidate(ctx context.Context, g *graph.Graph, u, v graph.NodeID, p Params, tree *ReachTree, nr int, walk []graph.NodeID) (float64, []graph.NodeID, error) {
+// estimateCandidate runs the n_r walks for one candidate against the
+// sparse map tree and returns the averaged crash probability together
+// with the (possibly grown) walk buffer. It is the legacy kernel, kept
+// for the DisableFrozenKernel ablation and as the reference the frozen
+// kernel is property-tested against. The only error it can return is
+// ctx.Err().
+func estimateCandidate(ctx context.Context, g *graph.Graph, u, v graph.NodeID, p Params, tree *ReachTree, nr int, sqrtC float64, walk []graph.NodeID) (float64, []graph.NodeID, error) {
 	if v == u {
 		return 1, walk, nil // sim(u,u) = 1 by definition
 	}
 	r := rng.Split(p.Seed, uint64(v))
-	sc := math.Sqrt(p.C)
 	sum := 0.0
 	for k := 0; k < nr; k++ {
 		if k&(ctxCheckInterval-1) == ctxCheckInterval-1 {
@@ -289,19 +345,416 @@ func estimateCandidate(ctx context.Context, g *graph.Graph, u, v graph.NodeID, p
 				return 0, walk, err
 			}
 		}
-		walk = SampleWalk(g, v, p.C, p.Lmax, r, walk)
-		sum += walkContribution(g, walk, tree, p.Meeting, sc)
+		walk = SampleWalk(g, v, sqrtC, p.Lmax, r, walk)
+		sum += walkContribution(g, walk, tree, p.Meeting, sqrtC)
 	}
 	statWalks.Add(uint64(nr))
 	return sum / float64(nr), walk, nil
 }
 
+// estimateCandidateFrozen is estimateCandidate against the compiled
+// tree: sampling and scoring are fused into one loop per walk (the walk
+// is never materialized), and the whole n_r budget runs inside one
+// kernel call, so per-walk costs reduce to the walk itself — the
+// meeting-rule dispatch, the CSR array setup and the start node's
+// offsets are all paid once per candidate. Contributions are
+// bit-identical to the legacy kernel — same random stream, same
+// floating-point operation order.
+func estimateCandidateFrozen(ctx context.Context, g *graph.Graph, u, v graph.NodeID, p Params, ft *FrozenTree, nr int, sqrtC float64) (float64, error) {
+	if v == u {
+		return 1, nil // sim(u,u) = 1 by definition
+	}
+	r := rng.FastSplit(p.Seed, uint64(v))
+	sum, _, walks, err := kernelFor(p.Meeting)(ctx, g, ft, v, sqrtC, p.Lmax, nr, &r)
+	statWalks.Add(uint64(walks))
+	if err != nil {
+		return 0, err
+	}
+	return sum / float64(nr), nil
+}
+
+// candidateKernel runs a candidate's full n_r-walk budget against the
+// frozen tree and returns the summed contributions, their squares (for
+// the with-error path's variance; one multiply-add per walk, noise for
+// the callers that drop it), the number of walks completed, and the
+// context error that cut the loop short, if any. Kernels draw from the
+// devirtualized rng.Fast — the same stream rng.Split yields, minus the
+// interface dispatch that would otherwise sit on every step.
+type candidateKernel func(ctx context.Context, g *graph.Graph, ft *FrozenTree, v graph.NodeID, sqrtC float64, lmax, nr int, r *rng.Fast) (sum, sumSq float64, walks int, err error)
+
+// kernelFor resolves the meeting rule to its fused sample-and-score
+// kernel.
+func kernelFor(rule MeetingRule) candidateKernel {
+	switch rule {
+	case MeetingAny:
+		return candidateScoreAny
+	case MeetingFirstCrash:
+		return candidateScoreFirstCrash
+	default:
+		return candidateScoreFirstMeet
+	}
+}
+
+// The three kernels below fuse SampleWalk with walkContribution. They
+// consume the random stream in exactly SampleWalk's order (one Float64,
+// then one IntN when the walk continues), and they accumulate in
+// exactly walkContribution's order, so estimates are bit-identical to
+// the legacy two-pass kernel; the determinism tests enforce this. The
+// √c continue-test is done in integer space — Bits53 consumes the same
+// word Float64 would, and Threshold53 makes the comparison exact — so
+// the hot path never converts the draw to a float.
+// The walk steps through the raw in-adjacency CSR — the offsets of the
+// next position are fetched at arrival, so the first-meet rule's
+// carried-mass update reuses the degree the step already loaded instead
+// of re-deriving g.InDegree.
+// The first step is peeled out of the step loop: every walk starts at
+// v, so the hop draws from a fixed range (whose bounds, and a walk
+// that cannot move at all, are rejected once per candidate), and the
+// landing node's crash probability and onward bounds come from the
+// 16-byte s1 table entry instead of the inOff/any/lv/probs probe
+// chain. On a geometrically truncated walk the first step is the most
+// common one, so the peel removes roughly a quarter of all probes.
+// A candidate with no in-edges (or lmax < 1) never moves, so every
+// walk contributes exactly 0 — the same sum the legacy kernel reaches
+// after sampling, returned without drawing.
+
+func candidateScoreAny(ctx context.Context, g *graph.Graph, ft *FrozenTree, v graph.NodeID, sqrtC float64, lmax, nr int, r *rng.Fast) (sum, sumSq float64, walks int, err error) {
+	inOff, inAdj := g.InCSR()
+	lo0, hi0 := inOff[v], inOff[v+1]
+	u0 := uint64(hi0 - lo0)
+	if lmax < 1 || u0 == 0 {
+		return 0, 0, nr, nil
+	}
+	s1 := ft.s1
+	// The probe arrays come off the struct once: every RNG draw stores
+	// through r, which keeps the compiler from proving ft's fields
+	// unchanged across steps — local slice headers pin the base pointers
+	// in registers for the whole candidate. The probe itself (any-bit
+	// test, lv pair, popcount into probs) is probLive written out against
+	// these locals.
+	anyB, lv, probs, mw := ft.any, ft.lv, ft.probs, ft.maskWords
+	// Stage the candidate's own first-hop entries in a stack buffer:
+	// after the first walk these few lines are L1-resident, so the
+	// peeled first step reads one hot entry instead of gathering
+	// through inAdj and the length-n s1 table on every walk. Candidates
+	// with more in-edges than the buffer (rare) gather directly.
+	var entBuf [64]step1
+	var ent []step1
+	if u0 <= uint64(len(entBuf)) {
+		ent = entBuf[:u0]
+		for j := range ent {
+			ent[j] = s1[inAdj[lo0+int32(j)]]
+		}
+	}
+	thresh := rng.Threshold53(sqrtC)
+	for k := 0; k < nr; k++ {
+		if k&(ctxCheckInterval-1) == ctxCheckInterval-1 {
+			if e := ctx.Err(); e != nil {
+				return 0, 0, k, e
+			}
+		}
+		x := 0.0
+		if r.Bits53() < thresh {
+			// Uniform index in [0, u0): rng.IntN's algorithm (power-of-
+			// two mask, else Lemire with rejection tail) written out so the
+			// draw compiles into the loop with no call — a call here would
+			// spill the kernel's live float registers every step. The
+			// byte-identity tests pin this against the rng implementation.
+			x64 := r.Uint64()
+			var j uint64
+			if u0&(u0-1) == 0 {
+				j = x64 & (u0 - 1)
+			} else {
+				hi2, lo2 := bits.Mul64(x64, u0)
+				if lo2 < u0 {
+					t := -u0 % u0
+					for lo2 < t {
+						hi2, lo2 = bits.Mul64(r.Uint64(), u0)
+					}
+				}
+				j = hi2
+			}
+			var e step1
+			if ent != nil {
+				e = ent[j]
+			} else {
+				e = s1[inAdj[lo0+int32(j)]]
+			}
+			lo, hi := e.lo, e.hi
+			x = e.p
+			for step := 2; step <= lmax; step++ {
+				if r.Bits53() >= thresh {
+					break
+				}
+				deg := int(hi - lo)
+				if deg == 0 {
+					break
+				}
+				x64 := r.Uint64()
+				u := uint64(deg)
+				var j uint64
+				if u&(u-1) == 0 {
+					j = x64 & (u - 1)
+				} else {
+					hi2, lo2 := bits.Mul64(x64, u)
+					if lo2 < u {
+						t := -u % u
+						for lo2 < t {
+							hi2, lo2 = bits.Mul64(r.Uint64(), u)
+						}
+					}
+					j = hi2
+				}
+				cur := inAdj[lo+int32(j)]
+				lo, hi = inOff[cur], inOff[cur+1]
+				if anyB[int(cur)>>6]&(uint64(1)<<uint(cur&63)) != 0 {
+					wi := (int(cur)*mw + step>>6) * 2
+					word := lv[wi]
+					bit := uint64(1) << uint(step&63)
+					if word&bit != 0 {
+						x += probs[int(lv[wi+1])+bits.OnesCount64(word&(bit-1))]
+					}
+				}
+			}
+		}
+		sum += x
+		sumSq += x * x
+	}
+	return sum, sumSq, nr, nil
+}
+
+func candidateScoreFirstCrash(ctx context.Context, g *graph.Graph, ft *FrozenTree, v graph.NodeID, sqrtC float64, lmax, nr int, r *rng.Fast) (sum, sumSq float64, walks int, err error) {
+	// After the first positive crash probability a walk's contribution
+	// is final, but the walk must still be sampled to its end so the
+	// candidate's random stream stays aligned with the legacy kernel.
+	inOff, inAdj := g.InCSR()
+	lo0, hi0 := inOff[v], inOff[v+1]
+	u0 := uint64(hi0 - lo0)
+	if lmax < 1 || u0 == 0 {
+		return 0, 0, nr, nil
+	}
+	s1 := ft.s1
+	// See candidateScoreAny: local headers keep the probe bases in
+	// registers across the RNG's stores.
+	anyB, lv, probs, mw := ft.any, ft.lv, ft.probs, ft.maskWords
+	// Stage the candidate's own first-hop entries in a stack buffer:
+	// after the first walk these few lines are L1-resident, so the
+	// peeled first step reads one hot entry instead of gathering
+	// through inAdj and the length-n s1 table on every walk. Candidates
+	// with more in-edges than the buffer (rare) gather directly.
+	var entBuf [64]step1
+	var ent []step1
+	if u0 <= uint64(len(entBuf)) {
+		ent = entBuf[:u0]
+		for j := range ent {
+			ent[j] = s1[inAdj[lo0+int32(j)]]
+		}
+	}
+	thresh := rng.Threshold53(sqrtC)
+	for k := 0; k < nr; k++ {
+		if k&(ctxCheckInterval-1) == ctxCheckInterval-1 {
+			if e := ctx.Err(); e != nil {
+				return 0, 0, k, e
+			}
+		}
+		x := 0.0
+		if r.Bits53() < thresh {
+			// See candidateScoreAny for the inlined uniform draw.
+			x64 := r.Uint64()
+			var j uint64
+			if u0&(u0-1) == 0 {
+				j = x64 & (u0 - 1)
+			} else {
+				hi2, lo2 := bits.Mul64(x64, u0)
+				if lo2 < u0 {
+					t := -u0 % u0
+					for lo2 < t {
+						hi2, lo2 = bits.Mul64(r.Uint64(), u0)
+					}
+				}
+				j = hi2
+			}
+			var e step1
+			if ent != nil {
+				e = ent[j]
+			} else {
+				e = s1[inAdj[lo0+int32(j)]]
+			}
+			lo, hi := e.lo, e.hi
+			x = e.p
+			for step := 2; step <= lmax; step++ {
+				if r.Bits53() >= thresh {
+					break
+				}
+				deg := int(hi - lo)
+				if deg == 0 {
+					break
+				}
+				x64 := r.Uint64()
+				u := uint64(deg)
+				var j uint64
+				if u&(u-1) == 0 {
+					j = x64 & (u - 1)
+				} else {
+					hi2, lo2 := bits.Mul64(x64, u)
+					if lo2 < u {
+						t := -u % u
+						for lo2 < t {
+							hi2, lo2 = bits.Mul64(r.Uint64(), u)
+						}
+					}
+					j = hi2
+				}
+				cur := inAdj[lo+int32(j)]
+				lo, hi = inOff[cur], inOff[cur+1]
+				if x == 0 && anyB[int(cur)>>6]&(uint64(1)<<uint(cur&63)) != 0 {
+					wi := (int(cur)*mw + step>>6) * 2
+					word := lv[wi]
+					bit := uint64(1) << uint(step&63)
+					if word&bit != 0 {
+						x = probs[int(lv[wi+1])+bits.OnesCount64(word&(bit-1))]
+					}
+				}
+			}
+		}
+		sum += x
+		sumSq += x * x
+	}
+	return sum, sumSq, nr, nil
+}
+
+func candidateScoreFirstMeet(ctx context.Context, g *graph.Graph, ft *FrozenTree, v graph.NodeID, sqrtC float64, lmax, nr int, r *rng.Fast) (sum, sumSq float64, walks int, err error) {
+	inOff, inAdj := g.InCSR()
+	lo0, hi0 := inOff[v], inOff[v+1]
+	u0 := uint64(hi0 - lo0)
+	if lmax < 1 || u0 == 0 {
+		return 0, 0, nr, nil
+	}
+	s1 := ft.s1
+	// See candidateScoreAny: local headers keep the probe bases in
+	// registers across the RNG's stores.
+	anyB, lv, probs, mw := ft.any, ft.lv, ft.probs, ft.maskWords
+	// Stage the candidate's own first-hop entries in a stack buffer:
+	// after the first walk these few lines are L1-resident, so the
+	// peeled first step reads one hot entry instead of gathering
+	// through inAdj and the length-n s1 table on every walk. Candidates
+	// with more in-edges than the buffer (rare) gather directly.
+	var entBuf [64]step1
+	var ent []step1
+	if u0 <= uint64(len(entBuf)) {
+		ent = entBuf[:u0]
+		for j := range ent {
+			ent[j] = s1[inAdj[lo0+int32(j)]]
+		}
+	}
+	thresh := rng.Threshold53(sqrtC)
+	for k := 0; k < nr; k++ {
+		if k&(ctxCheckInterval-1) == ctxCheckInterval-1 {
+			if e := ctx.Err(); e != nil {
+				return 0, 0, k, e
+			}
+		}
+		// carried is C_i: the probability mass of source walks that met
+		// this walk at an earlier position and then followed the walk's
+		// own path; it is excluded from later crashes. At the peeled
+		// first step carried is 0, so the step's contribution is the s1
+		// mass as-is and the carry seeds from it directly.
+		x := 0.0
+		if r.Bits53() < thresh {
+			// See candidateScoreAny for the inlined uniform draw.
+			x64 := r.Uint64()
+			var j uint64
+			if u0&(u0-1) == 0 {
+				j = x64 & (u0 - 1)
+			} else {
+				hi2, lo2 := bits.Mul64(x64, u0)
+				if lo2 < u0 {
+					t := -u0 % u0
+					for lo2 < t {
+						hi2, lo2 = bits.Mul64(r.Uint64(), u0)
+					}
+				}
+				j = hi2
+			}
+			var e step1
+			if ent != nil {
+				e = ent[j]
+			} else {
+				e = s1[inAdj[lo0+int32(j)]]
+			}
+			lo, hi := e.lo, e.hi
+			x = e.p
+			carried := 0.0
+			if x != 0 {
+				if deg := int(hi - lo); deg > 0 {
+					carried = x * sqrtC / float64(deg)
+				}
+			}
+			for step := 2; step <= lmax; step++ {
+				if r.Bits53() >= thresh {
+					break
+				}
+				deg := int(hi - lo)
+				if deg == 0 {
+					break
+				}
+				x64 := r.Uint64()
+				u := uint64(deg)
+				var j uint64
+				if u&(u-1) == 0 {
+					j = x64 & (u - 1)
+				} else {
+					hi2, lo2 := bits.Mul64(x64, u)
+					if lo2 < u {
+						t := -u % u
+						for lo2 < t {
+							hi2, lo2 = bits.Mul64(r.Uint64(), u)
+						}
+					}
+					j = hi2
+				}
+				cur := inAdj[lo+int32(j)]
+				lo, hi = inOff[cur], inOff[cur+1]
+				p := 0.0
+				if anyB[int(cur)>>6]&(uint64(1)<<uint(cur&63)) != 0 {
+					wi := (int(cur)*mw + step>>6) * 2
+					word := lv[wi]
+					bit := uint64(1) << uint(step&63)
+					if word&bit != 0 {
+						p = probs[int(lv[wi+1])+bits.OnesCount64(word&(bit-1))]
+					}
+				}
+				m := p - carried
+				if m < 0 {
+					m = 0
+				}
+				x += m
+				// t == 0 forces carried to (+)0 on both branches below,
+				// exactly what the legacy kernel's 0·√c/d computes —
+				// skipping the divide keeps the bits and drops the most
+				// expensive op from the common all-miss walk.
+				if t := carried + m; t != 0 {
+					if deg = int(hi - lo); deg > 0 {
+						carried = t * sqrtC / float64(deg)
+					} else {
+						carried = 0
+					}
+				}
+			}
+		}
+		sum += x
+		sumSq += x * x
+	}
+	return sum, sumSq, nr, nil
+}
+
 // walkContribution scores one sampled candidate walk against the source
-// tree under the configured meeting rule. Position i of the walk
-// (0-indexed) is the candidate walk's location after i steps; crashing
-// requires the source walk to be at the same node after the same number
-// of steps. Position 0 contributes only when the candidate is the
-// source, which callers handle directly.
+// tree under the configured meeting rule — the map-kernel counterpart
+// of the fused walkScore* kernels. Position i of the walk (0-indexed)
+// is the candidate walk's location after i steps; crashing requires the
+// source walk to be at the same node after the same number of steps.
+// Position 0 contributes only when the candidate is the source, which
+// callers handle directly.
 func walkContribution(g *graph.Graph, walk []graph.NodeID, tree *ReachTree, rule MeetingRule, sc float64) float64 {
 	sum := 0.0
 	switch rule {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,12 +24,16 @@ type Estimate struct {
 // SingleSourceWithError is SingleSource with per-node uncertainty: it
 // returns, for each candidate, both the estimate and its standard
 // error, using exactly the same random streams as SingleSource (the
-// Score fields match SingleSource bit-for-bit).
+// Score fields match SingleSource bit-for-bit). Like SingleSource it
+// runs against the compiled frozen tree; the per-walk contributions it
+// needs for the variance come straight out of the fused kernels.
 func SingleSourceWithError(g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params) (map[graph.NodeID]Estimate, error) {
 	tree, q, err := prepare(g, u, p)
 	if err != nil {
 		return nil, err
 	}
+	pooled := !q.DisablePooling
+	defer releaseTree(tree, pooled)
 	n := g.NumNodes()
 	if omega == nil {
 		omega = make([]graph.NodeID, n)
@@ -43,25 +48,30 @@ func SingleSourceWithError(g *graph.Graph, u graph.NodeID, omega []graph.NodeID,
 	}
 	nr := q.iterations(n)
 	out := make(map[graph.NodeID]Estimate, len(omega))
-	reach := forwardReach(g, tree.Nodes(), q.Lmax)
-	sc := math.Sqrt(q.C)
+
+	ft := acquireFrozen(pooled)
+	ft.compile(tree, n)
+	ft.buildStep1(g)
+	defer releaseFrozen(ft, pooled)
+
+	reach := newNodeBitset(nil, n)
+	forwardReachBits(g, ft.SupportNodes(), q.Lmax, reach, nil, nil)
+
+	sqrtC := math.Sqrt(q.C)
+	kernel := kernelFor(q.Meeting)
 	for _, v := range omega {
 		if v == u {
 			out[v] = Estimate{Score: 1}
 			continue
 		}
-		if _, ok := reach[v]; !ok || g.InDegree(v) == 0 {
+		if !reach.Has(v) || g.InDegree(v) == 0 {
 			out[v] = Estimate{} // provably zero, no sampling noise
 			continue
 		}
-		r := rng.Split(q.Seed, uint64(v))
-		var walk []graph.NodeID
-		sum, sumSq := 0.0, 0.0
-		for k := 0; k < nr; k++ {
-			walk = SampleWalk(g, v, q.C, q.Lmax, r, walk)
-			x := walkContribution(g, walk, tree, q.Meeting, sc)
-			sum += x
-			sumSq += x * x
+		r := rng.FastSplit(q.Seed, uint64(v))
+		sum, sumSq, _, err := kernel(context.Background(), g, ft, v, sqrtC, q.Lmax, nr, &r)
+		if err != nil {
+			return nil, err
 		}
 		mean := sum / float64(nr)
 		est := Estimate{Score: mean}

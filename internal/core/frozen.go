@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math/bits"
+
+	"crashsim/internal/graph"
+)
+
+// FrozenTree is the compiled, immutable query-time form of a ReachTree.
+//
+// The build-time tree stores one map[NodeID]float64 per level, which is
+// the right shape for the level-synchronized DP and for CrashSim-T's
+// Equal/DiffNodes pruning — but it puts a hash lookup on every step of
+// every sampled walk. Freezing compiles the tree into two flat arrays
+// so Prob(step, v) is one paired load, one mask test and at most one
+// indexed read:
+//
+//   - any: one bit per node, set iff the node has mass at some level.
+//     At n/8 bytes this stays cache-resident at any graph size we run,
+//     so the common miss — the walk is at a node the source tree never
+//     touches — is answered without touching the 16·n-byte lv array.
+//   - lv: per node, ⌈(lmax+1)/64⌉ interleaved (mask, rank) word pairs,
+//     indexed directly by the global node id. mask bit t is set iff the
+//     node has mass at step t; rank is the CSR index in probs of the
+//     word's first entry. Global indexing spends 16·n bytes per mask
+//     word but keeps the walk kernels' probe chain at a single
+//     dependent load before the hit test — there is no node remap to
+//     chase, and the common miss (a node the source tree never touches)
+//     is an all-zero mask word. Interleaving puts a hit's rank on the
+//     same cache line as the mask word that proved the hit.
+//   - probs: the non-zero probabilities in (node, step) order. The
+//     entry for (v, step) sits at the word's rank plus the popcount of
+//     the mask bits below step, so a hit costs one popcount and one
+//     float64 load, with no loop even past 64 levels.
+//
+// Values are the exact float64s of the source tree, so every estimate
+// computed against the frozen form is bit-identical to the map form —
+// the equivalence property test enforces it.
+type FrozenTree struct {
+	Source graph.NodeID
+	Lmax   int
+
+	n         int      // number of nodes the layout covers
+	maskWords int      // ⌈(Lmax+1)/64⌉ word pairs per node
+	any       []uint64 // n bits: node has mass at some level
+	lv        []uint64 // len 2·n·maskWords: interleaved (mask, rank)
+	nodes     []graph.NodeID
+	probs     []float64
+	ents      []frozenEntry // compile-time staging, reused across compiles
+	s1        []step1       // per-node first-step table, see buildStep1
+}
+
+// step1 is one entry of the first-step acceleration table: for node w,
+// the CSR in-edge bounds of w and the tree's step-1 mass at w — every
+// value a walk kernel needs when its first hop lands on w, on one
+// 16-byte entry instead of spread over inOff, any, lv and probs.
+type step1 struct {
+	lo, hi int32
+	p      float64
+}
+
+// frozenEntry stages one (node, step, probability) triple between
+// compile passes, so the probability fill iterates a flat slice instead
+// of walking the level maps a second time.
+type frozenEntry struct {
+	v, step int32
+	p       float64
+}
+
+// Freeze compiles t for queries on a graph with n nodes. The returned
+// tree is immutable and safe for concurrent readers.
+func (t *ReachTree) Freeze(n int) *FrozenTree {
+	f := &FrozenTree{}
+	f.compile(t, n)
+	return f
+}
+
+// compile fills f from t, reusing f's slices when they are large enough
+// (the frozen-tree pool in scratch.go depends on this).
+func (f *FrozenTree) compile(t *ReachTree, n int) {
+	f.Source = t.Source
+	f.Lmax = t.Lmax
+	f.n = n
+	levels := len(t.levels)
+	f.maskWords = (levels + 63) / 64
+	if f.maskWords < 1 {
+		f.maskWords = 1
+	}
+	mw := f.maskWords
+
+	// Pass 1: level bitmasks. The layout is addressed by global id, so
+	// there is no support discovery to do first — one sweep over the
+	// level maps sets the bits and stages the (node, step, p) triples,
+	// so this is the only pass that pays map iteration.
+	f.lv = growUint64(f.lv, 2*n*mw)
+	clear(f.lv)
+	f.ents = f.ents[:0]
+	for step, lvm := range t.levels {
+		w, bit := step>>6, uint64(1)<<uint(step&63)
+		for v, p := range lvm {
+			f.lv[(int(v)*mw+w)*2] |= bit
+			f.ents = append(f.ents, frozenEntry{v: int32(v), step: int32(step), p: p})
+		}
+	}
+	entries := len(f.ents)
+
+	// Pass 2: ranks and the support list. Scanning ids in order makes
+	// the CSR (node, step)-ordered and the support list sorted, so the
+	// layout is deterministic even though map iteration order is not.
+	f.nodes = f.nodes[:0]
+	f.any = growUint64(f.any, (n+63)/64)
+	clear(f.any)
+	r := int32(0)
+	for v := 0; v < n; v++ {
+		base := v * mw * 2
+		seen := uint64(0)
+		for w := 0; w < mw; w++ {
+			word := f.lv[base+w*2]
+			f.lv[base+w*2+1] = uint64(r)
+			r += int32(bits.OnesCount64(word))
+			seen |= word
+		}
+		if seen != 0 {
+			f.any[v>>6] |= uint64(1) << uint(v&63)
+			f.nodes = append(f.nodes, graph.NodeID(v))
+		}
+	}
+
+	// Pass 3: fill probabilities from the staged triples. With the masks
+	// complete, the CSR slot of every (node, step) entry is directly
+	// computable, so the fill needs no per-node cursor and can visit the
+	// entries in any order.
+	f.probs = growFloat64(f.probs, entries)
+	for _, e := range f.ents {
+		w, bit := int(e.step)>>6, uint64(1)<<uint(e.step&63)
+		wi := (int(e.v)*mw + w) * 2
+		word := f.lv[wi]
+		f.probs[int(f.lv[wi+1])+bits.OnesCount64(word&(bit-1))] = e.p
+	}
+	statFrozenCompiled.Inc()
+}
+
+// buildStep1 fills the first-step table for walks on g. Every walk's
+// first hop draws uniformly from the candidate's in-neighbors, so
+// step 1 — the most common step of a geometrically truncated walk — can
+// skip the probe chain entirely: the kernels peel it out of the step
+// loop and read one s1 entry instead. Must be called after compile and
+// before the walk kernels run; the estimators' compile sites do.
+func (f *FrozenTree) buildStep1(g *graph.Graph) {
+	inOff, _ := g.InCSR()
+	n := f.n
+	if cap(f.s1) < n {
+		f.s1 = make([]step1, n)
+	} else {
+		f.s1 = f.s1[:n]
+	}
+	for v := 0; v < n; v++ {
+		f.s1[v] = step1{lo: inOff[v], hi: inOff[v+1], p: f.probLive(1, graph.NodeID(v))}
+	}
+}
+
+// Prob returns the probability that the source's truncated √c-walk is at
+// v after step steps — the same value, bit for bit, as the map-backed
+// ReachTree.Prob. Out-of-range steps and nodes return 0.
+func (f *FrozenTree) Prob(step int, v graph.NodeID) float64 {
+	if uint(step) >= uint(f.maskWords<<6) || uint(v) >= uint(f.n) {
+		return 0
+	}
+	return f.probLive(step, v)
+}
+
+// probLive is Prob without the range guards, for the walk kernels: there
+// the step is bounded by the tree's own l_max and v is a node of the
+// graph the tree was built on, so both guards are statically satisfied.
+// Small enough to inline, which lets the kernels keep the array base
+// pointers in registers across steps.
+func (f *FrozenTree) probLive(step int, v graph.NodeID) float64 {
+	if f.any[int(v)>>6]&(uint64(1)<<uint(v&63)) == 0 {
+		return 0
+	}
+	wi := (int(v)*f.maskWords + step>>6) * 2
+	word := f.lv[wi]
+	bit := uint64(1) << uint(step&63)
+	if word&bit == 0 {
+		return 0
+	}
+	return f.probs[int(f.lv[wi+1])+bits.OnesCount64(word&(bit-1))]
+}
+
+// SupportNodes returns the sorted nodes with positive mass at any level
+// (the frozen counterpart of ReachTree.Nodes). The slice is shared with
+// the tree and must not be modified.
+func (f *FrozenTree) SupportNodes() []graph.NodeID { return f.nodes }
+
+// Support returns the number of stored (step, node) entries.
+func (f *FrozenTree) Support() int { return len(f.probs) }
+
+// growUint64 and friends return s resized to n, reallocating only when
+// the capacity is insufficient. Contents are unspecified.
+func growUint64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -29,6 +29,15 @@ var (
 	statWalkMisses    = obs.Default.Counter("core.pool.walk_misses")
 	statTreeHits      = obs.Default.Counter("core.pool.tree_hits")
 	statTreeMisses    = obs.Default.Counter("core.pool.tree_misses")
+	statFrozenHits    = obs.Default.Counter("core.pool.frozen_hits")
+	statFrozenMisses  = obs.Default.Counter("core.pool.frozen_misses")
+	statRevAccHits    = obs.Default.Counter("core.pool.revacc_hits")
+	statRevAccMisses  = obs.Default.Counter("core.pool.revacc_misses")
+
+	// statFrozenCompiled counts reverse-reachable trees compiled into
+	// the flat FrozenTree form (one per query on the default kernel;
+	// zero when DisableFrozenKernel routes through the map kernel).
+	statFrozenCompiled = obs.Default.Counter("core.frozen.compiled")
 
 	// CrashSim-T pruning outcomes, mirroring TemporalStats cumulatively
 	// across runs.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 
 	"crashsim/internal/graph"
@@ -159,26 +160,38 @@ func RevReach(g adjacency, u graph.NodeID, c float64, lmax int, rule TransitionR
 	// bucket storage instead of regrowing it level by level.
 	t := acquireTree(u, lmax)
 	t.levels[0][u] = 1
-	var order []graph.NodeID
+	// Mass for the next level accumulates in a pooled dense array rather
+	// than through per-in-edge map updates: the additions happen in
+	// exactly the order the map updates did (sorted sources, in-edge
+	// order within a source), so each level's values are bit-identical,
+	// but the level map is written once per touched node instead of
+	// being probed once per in-edge. The sorted source order comes for
+	// free: sweeping the seen bitset in word order yields the touched
+	// nodes ascending, so no level is ever sorted, and carrying each
+	// node's mass next to it in a parallel slice means the DP never
+	// reads a level map either — maps are written purely for consumers.
+	ra := acquireRevAcc(g.NumNodes())
+	acc, seen := ra.acc, ra.seen
+	order, masses := ra.order[:0], ra.masses[:0]
+	order = append(order, u)
+	masses = append(masses, 1)
 	for step := 0; step < lmax; step++ {
-		cur := t.levels[step]
-		next := t.levels[step+1]
-		order = order[:0]
-		for x := range cur {
-			order = append(order, x)
-		}
-		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-		for _, x := range order {
+		for i, x := range order {
 			in := g.In(x)
 			if len(in) == 0 {
 				continue
 			}
-			mass := cur[x]
+			mass := masses[i]
 			switch rule {
 			case TransitionExact:
 				w := mass * sc / float64(len(in))
 				for _, v := range in {
-					next[v] += w
+					if bit := uint64(1) << uint(v&63); seen[v>>6]&bit == 0 {
+						seen[v>>6] |= bit
+						acc[v] = w
+					} else {
+						acc[v] += w
+					}
 				}
 			case TransitionPaperLiteral:
 				for _, v := range in {
@@ -186,11 +199,36 @@ func RevReach(g adjacency, u graph.NodeID, c float64, lmax int, rule TransitionR
 					if deg == 0 {
 						continue
 					}
-					next[v] += mass * sc / float64(deg)
+					w := mass * sc / float64(deg)
+					if bit := uint64(1) << uint(v&63); seen[v>>6]&bit == 0 {
+						seen[v>>6] |= bit
+						acc[v] = w
+					} else {
+						acc[v] += w
+					}
 				}
 			}
 		}
+		next := t.levels[step+1]
+		order, masses = order[:0], masses[:0]
+		for wi, w := range seen {
+			if w == 0 {
+				continue
+			}
+			seen[wi] = 0
+			base := graph.NodeID(wi << 6)
+			for w != 0 {
+				v := base + graph.NodeID(bits.TrailingZeros64(w))
+				w &= w - 1
+				p := acc[v]
+				next[v] = p
+				order = append(order, v)
+				masses = append(masses, p)
+			}
+		}
 	}
+	ra.acc, ra.seen, ra.order, ra.masses = acc, seen, order, masses
+	releaseRevAcc(ra)
 	return t
 }
 

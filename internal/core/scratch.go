@@ -17,10 +17,13 @@ import (
 
 // scratch bundles the per-query buffers of estimate.
 type scratch struct {
-	dense []float64      // per-node accumulated scores, zeroed on acquire
-	omega []graph.NodeID // identity candidate list when the caller passes nil
-	live  []graph.NodeID // prefilter survivors
-	walk  []graph.NodeID // walk buffer for the sequential path
+	dense    []float64      // per-node accumulated scores, zeroed on acquire
+	omega    []graph.NodeID // identity candidate list when the caller passes nil
+	live     []graph.NodeID // prefilter survivors
+	walk     []graph.NodeID // walk buffer for the sequential legacy path
+	reach    nodeBitset     // prefilter visited set (zeroed lazily by newNodeBitset)
+	frontier []graph.NodeID // prefilter BFS frontier
+	next     []graph.NodeID // prefilter BFS next frontier
 }
 
 // The pools have no New functions: Get returning nil distinguishes a
@@ -138,4 +141,70 @@ func releaseTree(t *ReachTree, pooled bool) {
 		clear(t.levels[i])
 	}
 	treePool.Put(t)
+}
+
+// revAcc holds RevReach's per-level accumulation state: a dense mass
+// array indexed by node id, a bitset recording which entries of acc are
+// live this level, and the current level's (sorted nodes, masses) work
+// lists. acc is only read at indices whose seen bit is set and seen is
+// returned all-zero (the extraction sweep clears each word it visits),
+// so neither array needs zeroing on acquire beyond first growth.
+type revAcc struct {
+	acc    []float64
+	seen   []uint64
+	order  []graph.NodeID
+	masses []float64
+}
+
+var revAccPool sync.Pool
+
+func acquireRevAcc(n int) *revAcc {
+	var ra *revAcc
+	if v := revAccPool.Get(); v != nil {
+		ra = v.(*revAcc)
+		statRevAccHits.Inc()
+	} else {
+		ra = new(revAcc)
+		statRevAccMisses.Inc()
+	}
+	if cap(ra.acc) < n {
+		ra.acc = make([]float64, n)
+	} else {
+		ra.acc = ra.acc[:n]
+	}
+	words := (n + 63) / 64
+	if cap(ra.seen) < words {
+		ra.seen = make([]uint64, words)
+	} else {
+		ra.seen = ra.seen[:words]
+	}
+	return ra
+}
+
+func releaseRevAcc(ra *revAcc) { revAccPool.Put(ra) }
+
+// frozenPool recycles the flat arrays of compiled trees. A FrozenTree's
+// dominant buffer is the length-n dense remap; reusing it means a warm
+// query's compile step only pays the remap reset and the support-sized
+// fills, no allocation.
+var frozenPool sync.Pool
+
+func acquireFrozen(pooled bool) *FrozenTree {
+	if pooled {
+		if v := frozenPool.Get(); v != nil {
+			statFrozenHits.Inc()
+			return v.(*FrozenTree)
+		}
+		statFrozenMisses.Inc()
+	}
+	return new(FrozenTree)
+}
+
+// releaseFrozen returns f's storage to the pool. The caller must not
+// use f afterwards.
+func releaseFrozen(f *FrozenTree, pooled bool) {
+	if !pooled || f == nil {
+		return
+	}
+	frozenPool.Put(f)
 }

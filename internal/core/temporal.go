@@ -147,7 +147,7 @@ func CrashSimT(tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, to
 			affected := affectedArea(gCur, tg.Directed(), delta, treeDiff, pp.Lmax)
 			var remaining []graph.NodeID
 			for _, v := range recompute {
-				if _, hit := affected[v]; hit {
+				if affected.Has(v) {
 					remaining = append(remaining, v)
 				} else {
 					reused[v] = omega[v]
@@ -225,13 +225,13 @@ func CrashSimT(tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, to
 }
 
 // affectedArea returns Theorem 2's affected area as one multi-source
-// forward BFS of depth lmax: the reach of (i) the altered nodes of the
-// source's reverse reachable tree and (ii) the nodes whose in-neighbor
-// lists changed (each changed edge's head for directed graphs, both
-// endpoints for undirected ones). A candidate outside this set samples
-// identical walks and consults identical crash probabilities, so its
-// score is provably unchanged.
-func affectedArea(g *graph.Graph, directed bool, d temporal.Delta, treeDiff []graph.NodeID, lmax int) map[graph.NodeID]struct{} {
+// forward BFS of depth lmax over a dense bitset: the reach of (i) the
+// altered nodes of the source's reverse reachable tree and (ii) the
+// nodes whose in-neighbor lists changed (each changed edge's head for
+// directed graphs, both endpoints for undirected ones). A candidate
+// outside this set samples identical walks and consults identical crash
+// probabilities, so its score is provably unchanged.
+func affectedArea(g *graph.Graph, directed bool, d temporal.Delta, treeDiff []graph.NodeID, lmax int) nodeBitset {
 	sources := append([]graph.NodeID(nil), treeDiff...)
 	for _, set := range [][]graph.Edge{d.Add, d.Del} {
 		for _, e := range set {
@@ -241,7 +241,9 @@ func affectedArea(g *graph.Graph, directed bool, d temporal.Delta, treeDiff []gr
 			}
 		}
 	}
-	return forwardReach(g, sources, lmax)
+	reach := newNodeBitset(nil, g.NumNodes())
+	forwardReachBits(g, sources, lmax, reach, nil, nil)
+	return reach
 }
 
 // countOmegaEdges returns |E(Ω)|: the number of edges of g with both

@@ -66,6 +66,15 @@ func (g *Graph) In(v NodeID) []NodeID {
 	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
 }
 
+// InCSR exposes the raw in-adjacency CSR arrays: offsets of length n+1
+// and the concatenated in-neighbor lists (node v's in-neighbors are
+// adj[offsets[v]:offsets[v+1]]). Both slices share the graph's storage
+// and must be treated as read-only. Sampling kernels use this to step
+// through the adjacency without constructing a slice header per step.
+func (g *Graph) InCSR() (offsets []int32, adj []NodeID) {
+	return g.inOff, g.inAdj
+}
+
 // Out returns the out-neighbor list of v. The returned slice is shared
 // with the graph and must not be modified.
 func (g *Graph) Out(v NodeID) []NodeID {

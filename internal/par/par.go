@@ -11,6 +11,14 @@ import (
 	"sync/atomic"
 )
 
+// chunksPerWorker sets the handout granularity of the parallel loop:
+// each worker claims ~1/chunksPerWorker of its fair share per atomic
+// operation. Larger values balance skewed workloads better; smaller
+// values touch the shared counter (and poll ctx) less. 8 keeps the
+// tail-latency loss under one eighth of a worker's share while cutting
+// the per-item shared-cacheline traffic to one access per chunk.
+const chunksPerWorker = 8
+
 // ForEach runs fn(i) for every i in [0, n) across up to workers
 // goroutines; workers <= 1 runs inline. It returns when all calls have
 // finished.
@@ -18,11 +26,16 @@ func ForEach(n, workers int, fn func(int)) {
 	_ = ForEachCtx(context.Background(), n, workers, fn)
 }
 
-// ForEachCtx is ForEach with cancellation: it checks ctx between work
-// items and stops handing out new indices once ctx is done, returning
-// ctx.Err(). Work items already started run to completion, so fn never
-// observes a torn loop; callers must treat a non-nil error as "results
-// incomplete". A nil ctx means context.Background().
+// ForEachCtx is ForEach with cancellation: workers claim contiguous
+// index chunks from a shared counter (one atomic operation and one ctx
+// poll per chunk, not per item — ctx.Err on a cancelable context takes
+// a mutex, which at per-item frequency serializes the workers) and stop
+// claiming once ctx is done, returning ctx.Err(). Work items already
+// started — at most one chunk per worker — run to completion, so fn
+// never observes a torn loop; callers must treat a non-nil error as
+// "results incomplete". Chunking only changes how indices are handed
+// out, never which indices run, so results stay bit-identical for any
+// worker count. A nil ctx means context.Background().
 func ForEachCtx(ctx context.Context, n, workers int, fn func(int)) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -39,6 +52,7 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(int)) error {
 	if workers > n {
 		workers = n
 	}
+	chunk := chunkSize(n, workers)
 	var wg sync.WaitGroup
 	var next atomic.Int64
 	for w := 0; w < workers; w++ {
@@ -46,14 +60,31 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(int)) error {
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
 					return
 				}
-				fn(i)
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	return ctx.Err()
+}
+
+// chunkSize returns the handout granularity for a loop of n items on
+// the given worker count: a worker's fair share divided by
+// chunksPerWorker, at least 1.
+func chunkSize(n, workers int) int {
+	c := n / (workers * chunksPerWorker)
+	if c < 1 {
+		return 1
+	}
+	return c
 }

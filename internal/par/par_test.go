@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -31,5 +33,66 @@ func TestForEachEmptyAndSingle(t *testing.T) {
 	ForEach(1, 4, func(i int) { calls += i + 1 })
 	if calls != 1 {
 		t.Errorf("single range wrong: %d", calls)
+	}
+}
+
+func TestChunkSize(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{8, 4, 1},                  // fewer items than workers*chunksPerWorker
+		{64, 4, 2},                 // 64/(4*8)
+		{10000, 4, 312},            // large loop
+		{3, 3, 1},                  // minimum clamps at one item
+		{1 << 20, 1 << 4, 1 << 13}, // exact division
+	}
+	for _, c := range cases {
+		if got := chunkSize(c.n, c.workers); got != c.want {
+			t.Errorf("chunkSize(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestForEachCtxCancelStopsWithinChunk: once ctx is canceled, no worker
+// may claim a new chunk — the only items still executing are the ones
+// in chunks already started, so the overrun is bounded by workers×chunk
+// items. Run under -race this also exercises the handout for data races
+// between the canceling item and the still-draining workers.
+func TestForEachCtxCancelStopsWithinChunk(t *testing.T) {
+	const (
+		n       = 10000
+		workers = 4
+		trigger = 50
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, n, workers, func(int) {
+		if ran.Add(1) == trigger {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachCtx returned %v, want context.Canceled", err)
+	}
+	// The canceling item's own chunk plus one in-flight chunk per other
+	// worker may still drain; nothing beyond that may start.
+	limit := int64(trigger + workers*chunkSize(n, workers))
+	if got := ran.Load(); got > limit {
+		t.Errorf("%d items ran after cancellation, want <= %d (workers=%d chunk=%d)",
+			got, limit, workers, chunkSize(n, workers))
+	}
+}
+
+// TestForEachCtxPreCanceled: a context canceled before the call must do
+// no work at all.
+func TestForEachCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 100, 4, func(int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachCtx returned %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > int64(4*chunkSize(100, 4)) {
+		t.Errorf("%d items ran on a pre-canceled context", got)
 	}
 }

@@ -75,3 +75,36 @@ func TestSeedStringStable(t *testing.T) {
 		t.Error("same label differs")
 	}
 }
+
+// TestFastMatchesSplit locks the devirtualization contract: Fast must
+// reproduce the Split stream variate for variate — same raw words, same
+// Float64 bits, same IntN values (including the power-of-two shortcut
+// and the rejection loop for skewed moduli) — with draws interleaved in
+// arbitrary orders so word consumption is provably in lockstep.
+func TestFastMatchesSplit(t *testing.T) {
+	moduli := []int{1, 2, 3, 5, 7, 8, 64, 100, 1000, 1 << 20, (1 << 31) - 1}
+	for _, tc := range []struct{ seed, stream uint64 }{{0, 0}, {1, 42}, {17, 5}, {^uint64(0), 1 << 40}} {
+		want := Split(tc.seed, tc.stream)
+		got := FastSplit(tc.seed, tc.stream)
+		for i := 0; i < 2000; i++ {
+			switch i % 3 {
+			case 0:
+				w, g := want.Uint64(), got.Uint64()
+				if w != g {
+					t.Fatalf("seed %d/%d draw %d: Uint64 %d (rand) vs %d (Fast)", tc.seed, tc.stream, i, w, g)
+				}
+			case 1:
+				w, g := want.Float64(), got.Float64()
+				if math.Float64bits(w) != math.Float64bits(g) {
+					t.Fatalf("seed %d/%d draw %d: Float64 %v (rand) vs %v (Fast)", tc.seed, tc.stream, i, w, g)
+				}
+			default:
+				n := moduli[i%len(moduli)]
+				w, g := want.IntN(n), got.IntN(n)
+				if w != g {
+					t.Fatalf("seed %d/%d draw %d: IntN(%d) %d (rand) vs %d (Fast)", tc.seed, tc.stream, i, n, w, g)
+				}
+			}
+		}
+	}
+}

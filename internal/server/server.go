@@ -355,7 +355,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // Bucket counts are per-bucket (not cumulative); "overflow" counts
 // observations above the last bound. With the default registry the
 // snapshot includes internal/core's process-wide work counters
-// (core.walks, core.pool.*, core.prefilter_pruned, core.temporal.*).
+// (core.walks, core.pool.* — including the frozen-tree and revReach
+// accumulator pools, core.pool.frozen_* and core.pool.revacc_* —
+// core.frozen.compiled, core.prefilter_pruned, core.temporal.*).
 // With caching enabled the counters include cache.hits, cache.misses,
 // cache.coalesced, cache.evictions and cache.expired, the gauges
 // cache.bytes and cache.entries, and the top level carries a "cache"
