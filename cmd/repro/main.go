@@ -70,6 +70,11 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJ
 		if err != nil {
 			return err
 		}
+		tcmp, trep, err := bench.TemporalKernel(cfg)
+		if err != nil {
+			return err
+		}
+		cmp.Temporal = tcmp
 		if kernelJSON != "" {
 			f, err := os.Create(kernelJSON)
 			if err != nil {
@@ -83,7 +88,10 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJ
 				return err
 			}
 		}
-		return print(rep)
+		if err := print(rep); err != nil {
+			return err
+		}
+		return print(trep)
 	case "table2":
 		_, rep, err := bench.Table2()
 		if err != nil {

@@ -38,6 +38,9 @@ type KernelComparison struct {
 	Config         string         `json:"config"`
 	Results        []KernelResult `json:"results"`
 	GeoMeanSpeedup float64        `json:"geomean_speedup"`
+	// Temporal is the CrashSim-T incremental-pipeline section
+	// (TemporalKernel); nil when only the static kernel ran.
+	Temporal *TemporalComparison `json:"temporal,omitempty"`
 }
 
 // WriteJSON renders the comparison as indented JSON.

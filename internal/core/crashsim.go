@@ -145,6 +145,37 @@ func checkSource(g *graph.Graph, u graph.NodeID) error {
 // locking is needed) and convert to the public Scores map only at the
 // end.
 func estimate(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params, tree *ReachTree) (Scores, error) {
+	n := g.NumNodes()
+	pooled := !p.DisablePooling
+
+	// Compile the frozen form only when the sampling budget amortizes the
+	// compile sweep: freezing costs one pass per tree entry, a fused walk
+	// saves on the order of one entry's cost, so below ~one walk per
+	// entry (tiny candidate sets from CrashSim-T's pruning, minuscule
+	// iteration counts) the legacy kernel is the faster end-to-end choice.
+	// Scores are bit-identical either way, so the switch is invisible.
+	// (CrashSim-T skips this and calls estimateWith directly, managing
+	// the compiled form through its cross-snapshot frozenCarry.)
+	cands := len(omega)
+	if omega == nil {
+		cands = n
+	}
+	var ft *FrozenTree
+	if !p.DisableFrozenKernel && int64(cands)*int64(p.iterations(n)) >= int64(tree.Support()) {
+		ft = acquireFrozen(pooled)
+		ft.compile(tree, n)
+		ft.buildStep1(g)
+		defer releaseFrozen(ft, pooled)
+	}
+	return estimateWith(ctx, g, u, omega, p, tree, ft)
+}
+
+// estimateWith is estimate against a caller-chosen kernel form: a
+// non-nil ft runs the fused frozen-tree kernels against it (the caller
+// keeps ownership — nothing here compiles or releases it), a nil ft
+// runs the legacy map kernel against tree. Scores are bit-identical
+// either way.
+func estimateWith(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params, tree *ReachTree, ft *FrozenTree) (Scores, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -170,20 +201,6 @@ func estimate(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []graph
 	sqrtC := math.Sqrt(p.C)
 
 	statCandidates.Add(uint64(len(omega)))
-
-	// Compile the frozen form only when the sampling budget amortizes the
-	// compile sweep: freezing costs one pass per tree entry, a fused walk
-	// saves on the order of one entry's cost, so below ~one walk per
-	// entry (tiny candidate sets from CrashSim-T's pruning, minuscule
-	// iteration counts) the legacy kernel is the faster end-to-end choice.
-	// Scores are bit-identical either way, so the switch is invisible.
-	var ft *FrozenTree
-	if !p.DisableFrozenKernel && int64(len(omega))*int64(nr) >= int64(tree.Support()) {
-		ft = acquireFrozen(pooled)
-		ft.compile(tree, n)
-		ft.buildStep1(g)
-		defer releaseFrozen(ft, pooled)
-	}
 
 	// Zero-score prefilter: a candidate's walk can only crash into the
 	// source tree if the candidate is forward-reachable (via out-edges)

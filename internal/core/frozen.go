@@ -140,6 +140,63 @@ func (f *FrozenTree) compile(t *ReachTree, n int) {
 	statFrozenCompiled.Inc()
 }
 
+// frozenCarry keeps one compiled FrozenTree alive across CrashSim-T's
+// snapshots so tree-stable transitions skip the recompile. Reuse is
+// keyed on the source tree's pointer identity: CrashSim-T only carries
+// a tree pointer forward when the tree is bit-identical (an empty delta,
+// or a Patch that detected no bit-level change), so a pointer match
+// guarantees the compiled levels are still exact. The per-node
+// first-step table additionally depends on the graph's in-CSR, so it is
+// refreshed — alone, an O(n) sweep instead of the O(n + support)
+// compile — whenever the snapshot version moved under an unchanged
+// tree.
+type frozenCarry struct {
+	ft      *FrozenTree
+	tree    *ReachTree // tree ft's levels were compiled from
+	version uint64     // graph version ft's step-1 table was built against
+	pooled  bool
+}
+
+// prepare returns the frozen form to run this snapshot's estimate
+// against (nil routes estimateWith to the legacy map kernel) and
+// whether a compile was skipped by reuse. disableKernel forces the
+// legacy kernel, mirroring Params.DisableFrozenKernel; otherwise a
+// fresh compile happens only when the sampling budget amortizes it,
+// the same gate the static estimate applies.
+func (fc *frozenCarry) prepare(g *graph.Graph, tree *ReachTree, cands, nr int, disableKernel bool) (*FrozenTree, bool) {
+	if disableKernel {
+		return nil, false
+	}
+	if fc.ft != nil && fc.tree == tree {
+		if v := g.Version(); v != fc.version {
+			fc.ft.buildStep1(g)
+			fc.version = v
+		}
+		return fc.ft, true
+	}
+	if int64(cands)*int64(nr) < int64(tree.Support()) {
+		return nil, false
+	}
+	if fc.ft == nil {
+		fc.ft = acquireFrozen(fc.pooled)
+	}
+	fc.ft.compile(tree, g.NumNodes())
+	fc.ft.buildStep1(g)
+	fc.tree = tree
+	fc.version = g.Version()
+	return fc.ft, false
+}
+
+// release returns the carried compiled tree to the pool. The carry must
+// not be used afterwards.
+func (fc *frozenCarry) release() {
+	if fc.ft == nil {
+		return
+	}
+	releaseFrozen(fc.ft, fc.pooled)
+	fc.ft, fc.tree = nil, nil
+}
+
 // buildStep1 fills the first-step table for walks on g. Every walk's
 // first hop draws uniformly from the candidate's in-neighbors, so
 // step 1 — the most common step of a geometrically truncated walk — can

@@ -29,6 +29,10 @@ var (
 	statWalkMisses    = obs.Default.Counter("core.pool.walk_misses")
 	statTreeHits      = obs.Default.Counter("core.pool.tree_hits")
 	statTreeMisses    = obs.Default.Counter("core.pool.tree_misses")
+	statPatchHits     = obs.Default.Counter("core.pool.patch_hits")
+	statPatchMisses   = obs.Default.Counter("core.pool.patch_misses")
+	statTempHits      = obs.Default.Counter("core.pool.temporal_hits")
+	statTempMisses    = obs.Default.Counter("core.pool.temporal_misses")
 	statFrozenHits    = obs.Default.Counter("core.pool.frozen_hits")
 	statFrozenMisses  = obs.Default.Counter("core.pool.frozen_misses")
 	statRevAccHits    = obs.Default.Counter("core.pool.revacc_hits")
@@ -45,4 +49,13 @@ var (
 	statTemporalEvaluated   = obs.Default.Counter("core.temporal.evaluated")
 	statTemporalReusedDelta = obs.Default.Counter("core.temporal.reused_delta")
 	statTemporalReusedDiff  = obs.Default.Counter("core.temporal.reused_diff")
+
+	// Incremental-pipeline outcomes (PR 5): how each snapshot's source
+	// tree was obtained, compiled-tree reuse, and the candidate-tree
+	// cache's hit traffic during difference pruning.
+	statTemporalTreePatched  = obs.Default.Counter("core.temporal.tree_patched")
+	statTemporalTreeRebuilt  = obs.Default.Counter("core.temporal.tree_rebuilt")
+	statTemporalFrozenReused = obs.Default.Counter("core.temporal.frozen_reused")
+	statTemporalCandHits     = obs.Default.Counter("core.temporal.candtree_hits")
+	statTemporalCandMisses   = obs.Default.Counter("core.temporal.candtree_misses")
 )

@@ -120,6 +120,239 @@ func (t *ReachTree) DiffNodes(o *ReachTree, tol float64) []graph.NodeID {
 	return out
 }
 
+// ApproxBytes estimates t's heap footprint for byte-accounted caching:
+// the level-map headers plus a per-entry cost covering the map bucket
+// share of a (NodeID, float64) pair. It intentionally overestimates a
+// little — cache budgets should err toward evicting early.
+func (t *ReachTree) ApproxBytes() int64 {
+	total := int64(64)
+	for _, lv := range t.levels {
+		total += 48 + int64(len(lv))*32
+	}
+	return total
+}
+
+// Patch derives the reverse reachable tree of t.Source on g from t, the
+// tree of the previous snapshot, where g differs from that snapshot by
+// exactly the given edge delta. Only the affected region is re-expanded:
+// the delta's endpoints seed a reverse (in-edge) BFS of depth Lmax, and
+// every level's masses are recomputed for affected nodes only while
+// unaffected entries are copied from t.
+//
+// The patched tree is bit-identical to a full RevReach on g. The level
+// DP sums a receiver's in-flowing mass in ascending pusher order, and a
+// node outside the affected closure has the same contributing pushers,
+// the same pusher masses and the same per-edge weights on both
+// snapshots — so restricting the re-push to affected receivers (while
+// still visiting pushers in full sorted level order) reproduces the
+// exact floating-point summation of the rebuild. The equivalence test
+// enforces this with tolerance zero.
+//
+// The second result is the sorted set of nodes whose probability moved
+// by more than tol at any level (including appear/vanish) — the same
+// contract as DiffNodes against a fresh rebuild, computed as a
+// byproduct instead of a second full-tree sweep. When no entry changed
+// at the bit level, Patch returns t itself (pointer-stable, so callers
+// can key compiled-form reuse on tree identity) and recycles the
+// staging tree.
+//
+// ok is false when patching does not apply and the caller must fall
+// back to a full rebuild: non-backtracking trees, an Lmax mismatch, or
+// an affected closure larger than gate × t.Support() — past that point
+// a rebuild is cheaper than a patch that re-expands most of the tree.
+// p must already have defaults applied (CrashSim-T passes its resolved
+// Params).
+func (t *ReachTree) Patch(g *graph.Graph, add, del []graph.Edge, p Params, tol, gate float64) (*ReachTree, []graph.NodeID, bool) {
+	if p.NonBacktracking || t.Lmax != p.Lmax || len(t.levels) != p.Lmax+1 {
+		return nil, nil, false
+	}
+	n := g.NumNodes()
+	ps := acquirePatchScratch(n)
+	defer releasePatchScratch(ps)
+
+	// Affected closure: a node's level value can change only if it is
+	// the tail of a changed edge (its out-list changed), pushes through a
+	// changed in-list (a head), or reaches such a node against the edge
+	// direction within Lmax hops — mass flows from a node to its
+	// in-neighbors, so being affected propagates the same way. Seeding
+	// every endpoint of every changed edge covers all three cases for
+	// directed and undirected graphs alike.
+	affected := newNodeBitset(ps.affected, n)
+	frontier, next := ps.frontier[:0], ps.next[:0]
+	for _, set := range [][]graph.Edge{add, del} {
+		for _, e := range set {
+			if affected.Add(e.X) {
+				frontier = append(frontier, e.X)
+			}
+			if affected.Add(e.Y) {
+				frontier = append(frontier, e.Y)
+			}
+		}
+	}
+	budget := int(gate * float64(t.Support()))
+	count := len(frontier)
+	bail := func() bool { return count > budget }
+	for d := 0; d < p.Lmax && len(frontier) > 0 && !bail(); d++ {
+		next = next[:0]
+		for _, x := range frontier {
+			for _, v := range g.In(x) {
+				if affected.Add(v) {
+					next = append(next, v)
+					count++
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	ps.affected, ps.frontier, ps.next = affected, frontier, next
+	if bail() {
+		return nil, nil, false
+	}
+
+	// Pushers: the nodes whose level mass must be re-pushed because some
+	// in-neighbor is an affected receiver — exactly Out(affected). Every
+	// other node's pushes land only on unaffected receivers, whose
+	// entries are copied, so those pushes are skipped wholesale.
+	pushers := newNodeBitset(ps.pushers, n)
+	for wi, w := range affected {
+		base := graph.NodeID(wi << 6)
+		for w != 0 {
+			v := base + graph.NodeID(bits.TrailingZeros64(w))
+			w &= w - 1
+			for _, x := range g.Out(v) {
+				pushers.Add(x)
+			}
+		}
+	}
+	ps.pushers = pushers
+
+	sc := math.Sqrt(p.C)
+	nt := acquireTree(t.Source, t.Lmax)
+	nt.levels[0][t.Source] = 1
+	acc := ps.acc
+	rseen := newNodeBitset(ps.rseen, n)
+	levelBits := nodeBitset(growUint64(ps.levelBits, len(rseen)))
+	changed := newNodeBitset(ps.changed, n)
+	order, masses := ps.order[:0], ps.masses[:0]
+	order = append(order, t.Source)
+	masses = append(masses, 1)
+	bitSame := true
+	for step := 0; step < p.Lmax; step++ {
+		// Restricted push: walk the new level's full sorted support (so
+		// affected receivers accumulate in rebuild order), but only
+		// pushers do per-edge work and only affected receivers are
+		// written.
+		for i, x := range order {
+			if !pushers.Has(x) {
+				continue
+			}
+			in := g.In(x)
+			if len(in) == 0 {
+				continue
+			}
+			mass := masses[i]
+			switch p.Transition {
+			case TransitionExact:
+				w := mass * sc / float64(len(in))
+				for _, v := range in {
+					if !affected.Has(v) {
+						continue
+					}
+					if rseen.Add(v) {
+						acc[v] = w
+					} else {
+						acc[v] += w
+					}
+				}
+			case TransitionPaperLiteral:
+				for _, v := range in {
+					if !affected.Has(v) {
+						continue
+					}
+					deg := g.InDegree(v)
+					if deg == 0 {
+						continue
+					}
+					w := mass * sc / float64(deg)
+					if rseen.Add(v) {
+						acc[v] = w
+					} else {
+						acc[v] += w
+					}
+				}
+			}
+		}
+
+		// Assemble the new level: affected receivers from the push above
+		// (their bits are already in rseen), unaffected entries copied
+		// from the old level. Vanished and value-changed affected
+		// entries feed the diff; appearances are caught in the sweep.
+		old := t.levels[step+1]
+		copy(levelBits, rseen)
+		for v, pOld := range old {
+			if !affected.Has(v) {
+				levelBits.Add(v)
+				acc[v] = pOld
+				continue
+			}
+			if !rseen.Has(v) {
+				changed.Add(v)
+				bitSame = false
+			} else if math.Float64bits(acc[v]) != math.Float64bits(pOld) {
+				bitSame = false
+				if math.Abs(acc[v]-pOld) > tol {
+					changed.Add(v)
+				}
+			}
+		}
+		next := nt.levels[step+1]
+		order, masses = order[:0], masses[:0]
+		for wi, w := range levelBits {
+			if w == 0 {
+				continue
+			}
+			levelBits[wi] = 0
+			base := graph.NodeID(wi << 6)
+			for w != 0 {
+				v := base + graph.NodeID(bits.TrailingZeros64(w))
+				w &= w - 1
+				pv := acc[v]
+				next[v] = pv
+				order = append(order, v)
+				masses = append(masses, pv)
+				if rseen.Has(v) {
+					if _, ok := old[v]; !ok {
+						changed.Add(v)
+						bitSame = false
+					}
+				}
+			}
+		}
+		clear(rseen)
+	}
+	ps.acc, ps.rseen, ps.levelBits, ps.changed = acc, rseen, levelBits, changed
+	ps.order, ps.masses = order, masses
+
+	if bitSame {
+		// The snapshot change never reached the tree: hand the caller the
+		// old tree back so downstream reuse keyed on pointer identity
+		// (the frozen-form carry) stays engaged, and recycle the staging
+		// tree we just filled.
+		releaseTree(nt, !p.DisablePooling)
+		return t, nil, true
+	}
+	var diff []graph.NodeID
+	for wi, w := range changed {
+		base := graph.NodeID(wi << 6)
+		for w != 0 {
+			v := base + graph.NodeID(bits.TrailingZeros64(w))
+			w &= w - 1
+			diff = append(diff, v)
+		}
+	}
+	return nt, diff, true
+}
+
 // Nodes returns the sorted set of nodes with positive mass at any level.
 // CrashSim-T's delta pruning treats these as part (i) of the affected
 // area of the source.

@@ -196,3 +196,147 @@ func TestTransitionRuleStrings(t *testing.T) {
 		t.Error("unknown enum values should still stringify")
 	}
 }
+
+// bitEqualTrees reports whether two trees are bit-for-bit identical:
+// same levels, same supports, every probability equal under
+// math.Float64bits. Stricter than Equal(o, 0), which admits -0 vs +0.
+func bitEqualTrees(a, b *ReachTree) bool {
+	if len(a.levels) != len(b.levels) {
+		return false
+	}
+	for step := range a.levels {
+		la, lb := a.levels[step], b.levels[step]
+		if len(la) != len(lb) {
+			return false
+		}
+		for v, pa := range la {
+			pb, ok := lb[v]
+			if !ok || math.Float64bits(pa) != math.Float64bits(pb) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPatchEquivalence is the contract behind CrashSim-T's incremental
+// source tree: walking a churn history and delta-patching the previous
+// snapshot's tree must reproduce BuildTree on every snapshot bit for
+// bit, and the diff byproduct must equal the DiffNodes sweep the
+// rebuild path would have run.
+func TestPatchEquivalence(t *testing.T) {
+	cases := []struct {
+		name     string
+		directed bool
+		rule     TransitionRule
+		rate     float64
+	}{
+		{"directed-exact-tiny", true, TransitionExact, 0.005},
+		{"directed-exact", true, TransitionExact, 0.03},
+		{"directed-literal", true, TransitionPaperLiteral, 0.02},
+		{"undirected-exact", false, TransitionExact, 0.02},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := gen.ErdosRenyi(60, 180, tc.directed, 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tg, err := gen.Churn(60, tc.directed, base, gen.ChurnOptions{
+				Snapshots: 7, AddRate: tc.rate, DelRate: tc.rate, Seed: 33,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := Params{Transition: tc.rule}.withDefaults()
+			cur, err := tg.Cursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur.Freeze()
+			prev, err := BuildTree(cur.Freeze(), 0, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			patched := 0
+			for cur.Next() {
+				d := tg.Delta(cur.T() - 1)
+				gCur := cur.Freeze()
+				want, err := BuildTree(gCur, 0, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantDiff := want.DiffNodes(prev, 0)
+				got, diff, ok := prev.Patch(gCur, d.Add, d.Del, p, 0, 1e9)
+				if !ok {
+					t.Fatalf("t=%d: Patch bailed under an unbounded gate", cur.T())
+				}
+				patched++
+				if !bitEqualTrees(got, want) {
+					t.Fatalf("t=%d: patched tree differs from rebuild", cur.T())
+				}
+				if len(diff) != len(wantDiff) {
+					t.Fatalf("t=%d: diff %v, want %v", cur.T(), diff, wantDiff)
+				}
+				for i := range diff {
+					if diff[i] != wantDiff[i] {
+						t.Fatalf("t=%d: diff %v, want %v", cur.T(), diff, wantDiff)
+					}
+				}
+				if len(wantDiff) == 0 && got != prev {
+					t.Errorf("t=%d: bit-identical patch did not return the previous tree pointer", cur.T())
+				}
+				prev = got
+			}
+			if patched == 0 {
+				t.Fatal("history produced no transitions; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestPatchFallbacks: the cases where patching must refuse and hand the
+// caller to a full rebuild.
+func TestPatchFallbacks(t *testing.T) {
+	base, err := gen.ErdosRenyi(40, 120, true, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := gen.Churn(40, true, base, gen.ChurnOptions{
+		Snapshots: 2, AddRate: 0.05, DelRate: 0.05, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{}.withDefaults()
+	cur, err := tg.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := BuildTree(cur.Freeze(), 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatal("history too short")
+	}
+	d := tg.Delta(0)
+	gCur := cur.Freeze()
+
+	// A zero gate makes any non-empty affected closure exceed budget.
+	if _, _, ok := prev.Patch(gCur, d.Add, d.Del, p, 0, 0); ok {
+		t.Error("Patch accepted a zero gate with a non-empty delta")
+	}
+	// Non-backtracking trees never patch.
+	nb := p
+	nb.NonBacktracking = true
+	if _, _, ok := prev.Patch(gCur, d.Add, d.Del, nb, 0, 1e9); ok {
+		t.Error("Patch accepted non-backtracking params")
+	}
+	// An Lmax mismatch (tree built with a different truncation) refuses.
+	short := p
+	short.Lmax = p.Lmax + 1
+	if _, _, ok := prev.Patch(gCur, d.Add, d.Del, short, 0, 1e9); ok {
+		t.Error("Patch accepted an Lmax mismatch")
+	}
+}

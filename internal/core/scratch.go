@@ -143,6 +143,92 @@ func releaseTree(t *ReachTree, pooled bool) {
 	treePool.Put(t)
 }
 
+// patchScratch holds ReachTree.Patch's working state: the affected and
+// pusher closures, the per-level receiver/membership/changed bitsets,
+// the dense accumulator and the sorted (order, masses) work lists. One
+// Patch call touches all of them, so they pool as a unit. Like revAcc,
+// nothing is zeroed on acquire beyond first growth: the bitsets are
+// re-zeroed through newNodeBitset and acc is only read at freshly
+// written indices.
+type patchScratch struct {
+	affected  []uint64
+	pushers   []uint64
+	rseen     []uint64
+	levelBits []uint64
+	changed   []uint64
+	acc       []float64
+	frontier  []graph.NodeID
+	next      []graph.NodeID
+	order     []graph.NodeID
+	masses    []float64
+}
+
+var patchScratchPool sync.Pool
+
+func acquirePatchScratch(n int) *patchScratch {
+	var ps *patchScratch
+	if v := patchScratchPool.Get(); v != nil {
+		ps = v.(*patchScratch)
+		statPatchHits.Inc()
+	} else {
+		ps = new(patchScratch)
+		statPatchMisses.Inc()
+	}
+	if cap(ps.acc) < n {
+		ps.acc = make([]float64, n)
+	} else {
+		ps.acc = ps.acc[:n]
+	}
+	return ps
+}
+
+func releasePatchScratch(ps *patchScratch) { patchScratchPool.Put(ps) }
+
+// temporalScratch holds CrashSim-T's per-run buffers: the incrementally
+// maintained sorted candidate list, the per-snapshot pruning decision
+// arrays, the Ω-membership bitset behind countOmegaEdges and the
+// affected-area BFS state. One run reuses them across every snapshot;
+// pooling then recycles them across runs.
+type temporalScratch struct {
+	candidates []graph.NodeID
+	recompute  []graph.NodeID
+	sources    []graph.NodeID
+	dec        []uint8
+	dd         []diffDecision
+	omegaBits  []uint64
+	reach      []uint64
+	frontier   []graph.NodeID
+	next       []graph.NodeID
+}
+
+var temporalScratchPool sync.Pool
+
+func acquireTemporalScratch(n int, pooled bool) *temporalScratch {
+	var ts *temporalScratch
+	if pooled {
+		if v := temporalScratchPool.Get(); v != nil {
+			ts = v.(*temporalScratch)
+			statTempHits.Inc()
+		} else {
+			ts = new(temporalScratch)
+			statTempMisses.Inc()
+		}
+	} else {
+		ts = new(temporalScratch)
+	}
+	if cap(ts.candidates) < n {
+		ts.candidates = make([]graph.NodeID, 0, n)
+	}
+	return ts
+}
+
+func (ts *temporalScratch) release(pooled bool) {
+	if !pooled {
+		return
+	}
+	temporalScratchPool.Put(ts)
+}
+
 // revAcc holds RevReach's per-level accumulation state: a dense mass
 // array indexed by node id, a bitset recording which entries of acc are
 // live this level, and the current level's (sorted nodes, masses) work

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sort"
+	"strconv"
 
+	"crashsim/internal/cache"
 	"crashsim/internal/graph"
+	"crashsim/internal/obs"
+	"crashsim/internal/par"
 	"crashsim/internal/temporal"
 )
 
@@ -28,9 +32,34 @@ type TemporalOptions struct {
 	// DisableDiffPruning turns off the reverse-tree comparison rule
 	// (Property 2).
 	DisableDiffPruning bool
+	// DisableTreePatch rebuilds the source tree from scratch on every
+	// snapshot instead of delta-patching the previous one. Results are
+	// bit-identical either way (Patch is bit-exact); this exists to
+	// measure the patch's speedup and to localize patching bugs.
+	DisableTreePatch bool
+	// DisableCandidateCache turns off the candidate-tree carry between
+	// snapshots, so difference pruning recomputes each candidate's
+	// previous-snapshot tree instead of reading it from the cache.
+	// Pruning decisions are identical either way (a cached tree is
+	// bit-identical to a recomputed one).
+	DisableCandidateCache bool
+	// DisableFrozenReuse recompiles the source tree's frozen form on
+	// every estimated snapshot instead of carrying the compiled form
+	// across tree-stable transitions. Scores are bit-identical either
+	// way.
+	DisableFrozenReuse bool
 	// TreeTolerance is the per-entry tolerance when comparing reverse
 	// reachable trees between snapshots. Default 1e-12.
 	TreeTolerance float64
+	// PatchGate bounds the affected closure of a tree patch as a
+	// fraction of the previous tree's support; past it the source tree
+	// is rebuilt from scratch (a patch re-expanding most of the tree
+	// costs more than the rebuild it replaces). Default 0.25.
+	PatchGate float64
+	// CandidateCacheBytes bounds the candidate-tree cache's accounted
+	// memory, so Ω-sized histories cannot grow without bound. Default
+	// 32 MiB. Non-positive values after defaulting disable the cache.
+	CandidateCacheBytes int64
 	// Observer, when set, is invoked after every snapshot with the
 	// snapshot index and the scores of the current candidate set
 	// (before the query filter is applied). The map must not be
@@ -43,17 +72,32 @@ func (o TemporalOptions) withDefaults() TemporalOptions {
 	if o.TreeTolerance == 0 {
 		o.TreeTolerance = 1e-12
 	}
+	if o.PatchGate == 0 {
+		o.PatchGate = 0.25
+	}
+	if o.CandidateCacheBytes == 0 {
+		o.CandidateCacheBytes = 32 << 20
+	}
 	return o
 }
 
 // TemporalStats counts the work CrashSim-T did and the work the pruning
 // rules avoided; the Fig 7 harness reports them alongside timings.
+// Every field except CandTreeHits/CandTreeMisses is deterministic for a
+// fixed seed and any worker count; the cache-traffic pair may shift
+// with scheduling because byte-accounted eviction depends on insertion
+// order (the determinism test masks exactly those two fields).
 type TemporalStats struct {
 	Snapshots       int // snapshots processed
 	Evaluated       int // candidate scores recomputed via CrashSim
 	ReusedDelta     int // candidate scores reused thanks to delta pruning
 	ReusedDiff      int // candidate scores reused thanks to difference pruning
 	TreeStableSteps int // snapshot transitions with an unchanged source tree
+	TreePatched     int // transitions whose source tree was delta-patched
+	TreeRebuilt     int // transitions whose source tree was rebuilt from scratch
+	FrozenReused    int // estimates that reused the carried compiled tree
+	CandTreeHits    int // diff-pruning trees served from the candidate cache
+	CandTreeMisses  int // diff-pruning trees recomputed for the previous snapshot
 }
 
 // TemporalResult is the outcome of a temporal SimRank query.
@@ -67,12 +111,62 @@ type TemporalResult struct {
 	Stats TemporalStats
 }
 
+// diffDecision records one candidate's difference-pruning outcome so
+// the parallel comparison loop writes disjoint slots and the stats
+// merge afterwards runs serially in candidate order.
+type diffDecision struct {
+	equal bool // candidate tree unchanged within tolerance
+	hit   bool // previous-snapshot tree came from the candidate cache
+}
+
+// Per-candidate pruning decisions. decRecompute must be the zero value:
+// the decision array is cleared to it at every snapshot.
+const (
+	decRecompute uint8 = iota
+	decReuseDelta
+	decReuseDiff
+)
+
+// minMembershipParallel is the candidate count below which the
+// affected-area membership partition stays inline: the test is one load
+// and AND per candidate, so fan-out only pays off on large sets.
+const minMembershipParallel = 64
+
+// candTreeEntry is one cached candidate tree, tagged with the version
+// of the snapshot it was built on. A lookup only counts when the tag
+// matches the previous snapshot's version — equal versions mean an
+// identical edge set (temporal.Cursor stamps versions from the working
+// graph's mutation count), so a tagged tree is bit-identical to what
+// RevReach would recompute.
+type candTreeEntry struct {
+	tree    *ReachTree
+	version uint64
+}
+
 // CrashSimT answers a temporal SimRank query (Algorithm 3) over the
 // whole history of tg: it starts from the full node set, recomputes per
 // snapshot only the scores the pruning rules cannot prove unchanged, and
 // filters the candidate set with the query predicate after every
 // snapshot.
 func CrashSimT(tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, topt TemporalOptions) (*TemporalResult, error) {
+	return CrashSimTCtx(context.Background(), tg, u, q, p, topt)
+}
+
+// CrashSimTCtx is CrashSimT with cancellation, checked between
+// snapshots, inside the pruning fan-outs and inside the per-candidate
+// sampling loops. The per-snapshot pipeline is incremental: the source
+// tree is delta-patched from the previous snapshot's (full rebuild only
+// past the patch gate), surviving candidates carry their reverse trees
+// forward through a byte-bounded cache so difference pruning does one
+// RevReach per candidate instead of two, the pruning loops fan out
+// through par.ForEachCtx (scores stay bit-identical for any worker
+// count: every candidate owns its random stream and decisions merge in
+// candidate order), and tree-stable transitions reuse the previously
+// compiled frozen form instead of recompiling it.
+func CrashSimTCtx(ctx context.Context, tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, topt TemporalOptions) (*TemporalResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pp := p.withDefaults()
 	if err := pp.Validate(); err != nil {
 		return nil, err
@@ -92,14 +186,36 @@ func CrashSimT(tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, to
 
 	res := &TemporalResult{}
 	nr := pp.iterations(n)
+	pooled := !pp.DisablePooling
 
-	// Snapshot 0: full single-source computation and initial filter.
+	var carry *frozenCarry
+	if !to.DisableFrozenReuse {
+		carry = &frozenCarry{pooled: pooled}
+		defer carry.release()
+	}
+	var candTrees *cache.Cache
+	if !to.DisableCandidateCache && to.CandidateCacheBytes > 0 {
+		// The cache is run-scoped, so its metrics go to a private
+		// registry instead of polluting the process-wide cache.* series
+		// the serving layer exports; CandTreeHits/Misses carry the same
+		// information per run.
+		candTrees, err = cache.New(cache.Config{MaxBytes: to.CandidateCacheBytes, Metrics: obs.NewRegistry()})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ts := acquireTemporalScratch(n, pooled)
+	defer ts.release(pooled)
+
+	// Snapshot 0: full single-source computation and initial filter. The
+	// candidate list is built in node order once and maintained sorted
+	// in place from here on — later snapshots only delete from it.
 	gPrev := cur.Freeze()
 	treePrev, err := BuildTree(gPrev, u, pp)
 	if err != nil {
 		return nil, err
 	}
-	scoresPrev, err := SingleSourceWithTree(gPrev, u, nil, pp, treePrev)
+	scoresPrev, err := runEstimate(ctx, carry, gPrev, u, nil, pp, treePrev, n, nr, res)
 	if err != nil {
 		return nil, err
 	}
@@ -109,31 +225,64 @@ func CrashSimT(tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, to
 		to.Observer(0, scoresPrev)
 	}
 	omega := make(map[graph.NodeID]float64, n)
-	for v, s := range scoresPrev {
-		if q.Keep(0, math.NaN(), s) {
-			omega[v] = s
+	candidates := ts.candidates[:0]
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		if s := scoresPrev[id]; q.Keep(0, math.NaN(), s) {
+			omega[id] = s
+			candidates = append(candidates, id)
 		}
 	}
+	ts.candidates = candidates
 
 	for cur.Next() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := cur.T()
 		delta := tg.Delta(t - 1)
 		gCur := cur.Freeze()
-		tree, err := BuildTree(gCur, u, pp)
-		if err != nil {
-			return nil, err
-		}
 		res.Stats.Snapshots++
 
-		candidates := sortedKeys(omega)
-		recompute := candidates
-		reused := make(Scores, len(omega))
-
-		treeDiff := tree.DiffNodes(treePrev, to.TreeTolerance)
+		// Source tree: an empty delta leaves the graph — and therefore
+		// the tree, bit for bit — untouched, so the previous tree (and
+		// its compiled form) is reused outright. Otherwise the tree is
+		// delta-patched from the previous one, which yields the diff as
+		// a byproduct; a full rebuild plus DiffNodes sweep remains the
+		// fallback when the patch gate trips or patching does not apply.
+		// The empty-delta shortcut sits behind the same ablation flag as
+		// the patch so DisableTreePatch reproduces the original
+		// rebuild-every-snapshot behavior exactly, as its doc promises.
+		var tree *ReachTree
+		var treeDiff []graph.NodeID
+		switch {
+		case delta.Size() == 0 && !to.DisableTreePatch:
+			tree = treePrev
+		case !to.DisableTreePatch && !pp.NonBacktracking:
+			if nt, diff, ok := treePrev.Patch(gCur, delta.Add, delta.Del, pp, to.TreeTolerance, to.PatchGate); ok {
+				tree, treeDiff = nt, diff
+				res.Stats.TreePatched++
+			}
+		}
+		if tree == nil {
+			tree, err = BuildTree(gCur, u, pp)
+			if err != nil {
+				return nil, err
+			}
+			treeDiff = tree.DiffNodes(treePrev, to.TreeTolerance)
+			res.Stats.TreeRebuilt++
+		}
 		if len(treeDiff) == 0 {
 			res.Stats.TreeStableSteps++
 		}
-		eOmega := countOmegaEdges(gCur, omega)
+
+		nc := len(candidates)
+		omegaBits := newNodeBitset(ts.omegaBits, n)
+		ts.omegaBits = omegaBits
+		eOmega := countOmegaEdges(gCur, candidates, omegaBits)
+		dec := growUint8(ts.dec, nc)
+		clear(dec)
+		ts.dec = dec
 
 		// Delta pruning (Theorem 2 / Property 1): a candidate's score
 		// can only change if (i) its walks can hit a changed source-tree
@@ -143,18 +292,19 @@ func CrashSimT(tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, to
 		// affected area reuse the previous snapshot's score, which is
 		// bit-exact because each candidate owns its random stream.
 		if !to.DisableDeltaPruning &&
-			float64(delta.Size())*float64(eOmega) < float64(len(omega))*float64(nr) {
-			affected := affectedArea(gCur, tg.Directed(), delta, treeDiff, pp.Lmax)
-			var remaining []graph.NodeID
-			for _, v := range recompute {
-				if affected.Has(v) {
-					remaining = append(remaining, v)
-				} else {
-					reused[v] = omega[v]
-					res.Stats.ReusedDelta++
-				}
+			float64(delta.Size())*float64(eOmega) < float64(nc)*float64(nr) {
+			affected := affectedArea(gCur, tg.Directed(), delta, treeDiff, pp.Lmax, ts)
+			workers := pp.Workers
+			if nc < minMembershipParallel {
+				workers = 1
 			}
-			recompute = remaining
+			if err := par.ForEachCtx(ctx, nc, workers, func(i int) {
+				if !affected.Has(candidates[i]) {
+					dec[i] = decReuseDelta
+				}
+			}); err != nil {
+				return nil, err
+			}
 		}
 
 		// Difference pruning (Property 2): when the source tree is
@@ -163,66 +313,149 @@ func CrashSimT(tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, to
 		// two snapshots and skip the unchanged ones. (With a changed
 		// source tree this rule is unsound — a candidate's crash
 		// probabilities change even if its walk distribution does not —
-		// hence the gate, which is also Algorithm 3 line 7.)
+		// hence the gate, which is also Algorithm 3 line 7.) The current
+		// tree always needs computing; the previous one is served from
+		// the candidate cache when a version-matching entry survives,
+		// halving the RevReach work per carried candidate. Comparisons
+		// fan out across workers; decisions land in per-candidate slots
+		// and merge serially in candidate order, so everything except
+		// the cache-traffic tallies is independent of the worker count.
 		if !to.DisableDiffPruning && len(treeDiff) == 0 && eOmega < nr {
-			var remaining []graph.NodeID
-			for _, v := range recompute {
+			dd := growDiffDecisions(ts.dd, nc)
+			ts.dd = dd
+			prevVersion, curVersion := gPrev.Version(), gCur.Version()
+			if err := par.ForEachCtx(ctx, nc, pp.Workers, func(i int) {
+				if dec[i] != decRecompute {
+					return
+				}
+				v := candidates[i]
 				tv := RevReach(gCur, v, pp.C, pp.Lmax, pp.Transition)
-				tvPrev := RevReach(gPrev, v, pp.C, pp.Lmax, pp.Transition)
-				if tv.Equal(tvPrev, to.TreeTolerance) {
-					reused[v] = omega[v]
-					res.Stats.ReusedDiff++
+				var tvPrev *ReachTree
+				hit := false
+				if candTrees != nil {
+					if e, ok := candTrees.Get(candKey(v)); ok {
+						if ent := e.(candTreeEntry); ent.version == prevVersion {
+							tvPrev, hit = ent.tree, true
+						}
+					}
+				}
+				if tvPrev == nil {
+					tvPrev = RevReach(gPrev, v, pp.C, pp.Lmax, pp.Transition)
+				}
+				dd[i] = diffDecision{equal: tv.Equal(tvPrev, to.TreeTolerance), hit: hit}
+				if candTrees != nil {
+					candTrees.Put(candKey(v), candTreeEntry{tree: tv, version: curVersion}, tv.ApproxBytes())
+				}
+			}); err != nil {
+				return nil, err
+			}
+			for i := 0; i < nc; i++ {
+				if dec[i] != decRecompute {
+					continue
+				}
+				if dd[i].hit {
+					res.Stats.CandTreeHits++
 				} else {
-					remaining = append(remaining, v)
+					res.Stats.CandTreeMisses++
+				}
+				if dd[i].equal {
+					dec[i] = decReuseDiff
 				}
 			}
-			recompute = remaining
 		}
+
+		recompute := ts.recompute[:0]
+		for i := 0; i < nc; i++ {
+			switch dec[i] {
+			case decReuseDelta:
+				res.Stats.ReusedDelta++
+			case decReuseDiff:
+				res.Stats.ReusedDiff++
+			default:
+				recompute = append(recompute, candidates[i])
+			}
+		}
+		ts.recompute = recompute
 
 		var fresh Scores
 		if len(recompute) > 0 {
-			fresh, err = SingleSourceWithTree(gCur, u, recompute, pp, tree)
+			fresh, err = runEstimate(ctx, carry, gCur, u, recompute, pp, tree, len(recompute), nr, res)
 			if err != nil {
 				return nil, err
 			}
 			res.Stats.Evaluated += len(recompute)
 		}
 
-		cur := make(Scores, len(omega))
-		for _, v := range candidates {
-			if s, ok := reused[v]; ok {
-				cur[v] = s
+		// Merge scores, observe, and filter the sorted candidate list in
+		// place (writes trail reads, so the delete-in-place is safe and
+		// the list needs no re-sort).
+		var observed Scores
+		if to.Observer != nil {
+			observed = make(Scores, nc)
+		}
+		kept := candidates[:0]
+		for i := 0; i < nc; i++ {
+			v := candidates[i]
+			prev := omega[v]
+			s := prev
+			if dec[i] == decRecompute {
+				s = fresh[v]
+			}
+			if observed != nil {
+				observed[v] = s
+			}
+			if q.Keep(t, prev, s) {
+				omega[v] = s
+				kept = append(kept, v)
 			} else {
-				cur[v] = fresh[v]
+				delete(omega, v)
 			}
 		}
 		if to.Observer != nil {
-			to.Observer(t, cur)
+			to.Observer(t, observed)
 		}
-		next := make(map[graph.NodeID]float64, len(omega))
-		for _, v := range candidates {
-			if s := cur[v]; q.Keep(t, omega[v], s) {
-				next[v] = s
-			}
-		}
-		omega = next
+		candidates = kept
 		gPrev, treePrev = gCur, tree
 	}
 	if err := cur.Err(); err != nil {
 		return nil, err
 	}
 
-	res.Omega = sortedKeys(omega)
-	res.Final = make(Scores, len(omega))
-	for v, s := range omega {
-		res.Final[v] = s
+	res.Omega = make([]graph.NodeID, len(candidates))
+	copy(res.Omega, candidates)
+	res.Final = make(Scores, len(candidates))
+	for _, v := range candidates {
+		res.Final[v] = omega[v]
 	}
 	statTemporalSnapshots.Add(uint64(res.Stats.Snapshots))
 	statTemporalEvaluated.Add(uint64(res.Stats.Evaluated))
 	statTemporalReusedDelta.Add(uint64(res.Stats.ReusedDelta))
 	statTemporalReusedDiff.Add(uint64(res.Stats.ReusedDiff))
+	statTemporalTreePatched.Add(uint64(res.Stats.TreePatched))
+	statTemporalTreeRebuilt.Add(uint64(res.Stats.TreeRebuilt))
+	statTemporalFrozenReused.Add(uint64(res.Stats.FrozenReused))
+	statTemporalCandHits.Add(uint64(res.Stats.CandTreeHits))
+	statTemporalCandMisses.Add(uint64(res.Stats.CandTreeMisses))
 	return res, nil
 }
+
+// runEstimate dispatches one snapshot's estimate: through the frozen
+// carry when enabled (reusing the compiled source tree across
+// tree-stable transitions), or through the self-contained static path —
+// which compiles and releases per call — when the reuse ablation is on.
+func runEstimate(ctx context.Context, carry *frozenCarry, g *graph.Graph, u graph.NodeID, omega []graph.NodeID, pp Params, tree *ReachTree, cands, nr int, res *TemporalResult) (Scores, error) {
+	if carry == nil {
+		return estimate(ctx, g, u, omega, pp, tree)
+	}
+	ft, reused := carry.prepare(g, tree, cands, nr, pp.DisableFrozenKernel)
+	if reused {
+		res.Stats.FrozenReused++
+	}
+	return estimateWith(ctx, g, u, omega, pp, tree, ft)
+}
+
+// candKey renders a candidate id as its cache key.
+func candKey(v graph.NodeID) string { return strconv.Itoa(int(v)) }
 
 // affectedArea returns Theorem 2's affected area as one multi-source
 // forward BFS of depth lmax over a dense bitset: the reach of (i) the
@@ -231,8 +464,8 @@ func CrashSimT(tg *temporal.Graph, u graph.NodeID, q TemporalQuery, p Params, to
 // directed graphs, both endpoints for undirected ones). A candidate
 // outside this set samples identical walks and consults identical crash
 // probabilities, so its score is provably unchanged.
-func affectedArea(g *graph.Graph, directed bool, d temporal.Delta, treeDiff []graph.NodeID, lmax int) nodeBitset {
-	sources := append([]graph.NodeID(nil), treeDiff...)
+func affectedArea(g *graph.Graph, directed bool, d temporal.Delta, treeDiff []graph.NodeID, lmax int, ts *temporalScratch) nodeBitset {
+	sources := append(ts.sources[:0], treeDiff...)
 	for _, set := range [][]graph.Edge{d.Add, d.Del} {
 		for _, e := range set {
 			sources = append(sources, e.Y)
@@ -241,18 +474,25 @@ func affectedArea(g *graph.Graph, directed bool, d temporal.Delta, treeDiff []gr
 			}
 		}
 	}
-	reach := newNodeBitset(nil, g.NumNodes())
-	forwardReachBits(g, sources, lmax, reach, nil, nil)
+	reach := newNodeBitset(ts.reach, g.NumNodes())
+	ts.frontier, ts.next = forwardReachBits(g, sources, lmax, reach, ts.frontier, ts.next)
+	ts.reach, ts.sources = reach, sources
 	return reach
 }
 
 // countOmegaEdges returns |E(Ω)|: the number of edges of g with both
-// endpoints in the candidate set.
-func countOmegaEdges(g *graph.Graph, omega map[graph.NodeID]float64) int {
+// endpoints in the candidate set. member must be a zeroed bitset sized
+// to the graph; the membership test is then one load and AND per
+// in-edge instead of a hash probe (the micro-benchmark measures the
+// difference against the old map form).
+func countOmegaEdges(g *graph.Graph, cands []graph.NodeID, member nodeBitset) int {
+	for _, v := range cands {
+		member.Add(v)
+	}
 	count := 0
-	for v := range omega {
+	for _, v := range cands {
 		for _, x := range g.In(v) {
-			if _, ok := omega[x]; ok {
+			if member.Has(x) {
 				count++
 			}
 		}
@@ -263,11 +503,18 @@ func countOmegaEdges(g *graph.Graph, omega map[graph.NodeID]float64) int {
 	return count
 }
 
-func sortedKeys(m map[graph.NodeID]float64) []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(m))
-	for v := range m {
-		out = append(out, v)
+// growUint8 and growDiffDecisions are growUint64's siblings for the
+// pruning decision arrays.
+func growUint8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return s[:n]
+}
+
+func growDiffDecisions(s []diffDecision, n int) []diffDecision {
+	if cap(s) < n {
+		return make([]diffDecision, n)
+	}
+	return s[:n]
 }

@@ -225,3 +225,166 @@ func TestCrashSimTTrendFiltering(t *testing.T) {
 		t.Errorf("source missing from omega: %v", res.Omega)
 	}
 }
+
+// maskCacheTraffic zeroes the two stats fields that legitimately vary
+// with scheduling (byte-accounted eviction depends on insertion order),
+// leaving everything the determinism contract covers.
+func maskCacheTraffic(s TemporalStats) TemporalStats {
+	s.CandTreeHits, s.CandTreeMisses = 0, 0
+	return s
+}
+
+// TestCrashSimTWorkersDeterminism: for a fixed seed, the parallel
+// pruning pipeline must return bit-identical results for any worker
+// count — candidates own their random streams, decisions land in
+// per-candidate slots, and the merges run serially in candidate order.
+// Run under -race this also exercises the fan-outs for data races.
+func TestCrashSimTWorkersDeterminism(t *testing.T) {
+	edges, err := gen.ErdosRenyi(90, 270, true, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bursty history: quiet transitions make the source tree stable, so
+	// both pruning fan-outs (delta membership and per-candidate diff
+	// comparison) get exercised across worker counts.
+	tg, err := gen.Churn(90, true, edges, gen.ChurnOptions{
+		Snapshots: 8, AddRate: 0.01, DelRate: 0.01, ActiveFraction: 0.5, Seed: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Iterations: 120, Seed: 29}
+	q := thresholdQuery{0.005}
+	base, err := CrashSimT(tg, 0, q, p, TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.ReusedDelta+base.Stats.ReusedDiff == 0 {
+		t.Fatal("pruning never engaged; the parallel loops were not exercised")
+	}
+	for _, w := range []int{2, 4} {
+		pw := p
+		pw.Workers = w
+		got, err := CrashSimT(tg, 0, q, pw, TemporalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Omega, base.Omega) {
+			t.Errorf("workers=%d: omega differs:\n%v\n%v", w, got.Omega, base.Omega)
+		}
+		for v, s := range base.Final {
+			if math.Float64bits(got.Final[v]) != math.Float64bits(s) {
+				t.Errorf("workers=%d: score at %d = %v, want %v", w, v, got.Final[v], s)
+			}
+		}
+		if ga, ba := maskCacheTraffic(got.Stats), maskCacheTraffic(base.Stats); ga != ba {
+			t.Errorf("workers=%d: stats differ:\n%+v\n%+v", w, ga, ba)
+		}
+	}
+}
+
+// TestCrashSimTIncrementalEquivalence: every incremental mechanism of
+// the pipeline (tree patching, the candidate-tree cache, frozen-form
+// reuse) is a pure optimization — disabling all of them must reproduce
+// the same result bit for bit, while the default run actually engages
+// them.
+func TestCrashSimTIncrementalEquivalence(t *testing.T) {
+	tg := churnGraph(t, 60, 150, 8, 0.01, 37)
+	p := Params{Iterations: 100, Seed: 41}
+	q := thresholdQuery{0.01}
+	inc, err := CrashSimT(tg, 0, q, p, TemporalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := CrashSimT(tg, 0, q, p, TemporalOptions{
+		DisableTreePatch: true, DisableCandidateCache: true, DisableFrozenReuse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inc.Omega, plain.Omega) {
+		t.Errorf("omega differs:\nincremental %v\nplain       %v", inc.Omega, plain.Omega)
+	}
+	for v, s := range plain.Final {
+		if math.Float64bits(inc.Final[v]) != math.Float64bits(s) {
+			t.Errorf("score at %d = %v, want %v", v, inc.Final[v], s)
+		}
+	}
+	if inc.Stats.TreePatched == 0 {
+		t.Error("default run never patched a tree on a low-churn history")
+	}
+	if plain.Stats.TreePatched != 0 || plain.Stats.FrozenReused != 0 || plain.Stats.CandTreeHits != 0 {
+		t.Errorf("ablated run used incremental machinery: %+v", plain.Stats)
+	}
+}
+
+// TestTemporalStatsAccounting: every candidate-snapshot is either
+// evaluated or reused by exactly one pruning rule, so
+// Evaluated + ReusedDelta + ReusedDiff must equal the initial full
+// sweep plus the candidate count entering each later snapshot —
+// whatever mix of empty, tiny and gate-exceeding deltas the history
+// throws at the pipeline.
+func TestTemporalStatsAccounting(t *testing.T) {
+	const n = 50
+	cases := []struct {
+		name string
+		rate float64
+		opts TemporalOptions
+	}{
+		{"empty-deltas", 0, TemporalOptions{}},
+		{"tiny-deltas", 0.01, TemporalOptions{}},
+		{"gate-exceeding", 0.05, TemporalOptions{PatchGate: 1e-300}},
+		{"tiny-no-cache", 0.01, TemporalOptions{DisableCandidateCache: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var tg *temporal.Graph
+			if tc.rate == 0 {
+				base, err := gen.ErdosRenyi(n, 130, true, 47)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tg, err = temporal.New(n, true, base, make([]temporal.Delta, 5))
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				tg = churnGraph(t, n, 130, 6, tc.rate, 47)
+			}
+			processed := 0
+			opts := tc.opts
+			opts.Observer = func(t int, scores Scores) {
+				if t > 0 {
+					processed += len(scores)
+				}
+			}
+			res, err := CrashSimT(tg, 0, thresholdQuery{0.002}, Params{Iterations: 90, Seed: 53}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Stats
+			if got, want := s.Evaluated+s.ReusedDelta+s.ReusedDiff, n+processed; got != want {
+				t.Errorf("Evaluated(%d)+ReusedDelta(%d)+ReusedDiff(%d) = %d, want %d candidate-snapshots",
+					s.Evaluated, s.ReusedDelta, s.ReusedDiff, got, want)
+			}
+			// Every transition obtained its source tree exactly one way:
+			// carried over an empty delta, patched, or rebuilt.
+			empty := 0
+			for i := 0; i < tg.NumSnapshots()-1; i++ {
+				if tg.Delta(i).Size() == 0 {
+					empty++
+				}
+			}
+			if got, want := empty+s.TreePatched+s.TreeRebuilt, s.Snapshots-1; got != want {
+				t.Errorf("empty(%d)+TreePatched(%d)+TreeRebuilt(%d) = %d transitions, want %d",
+					empty, s.TreePatched, s.TreeRebuilt, got, want)
+			}
+			if tc.name == "gate-exceeding" && s.TreePatched != 0 {
+				t.Errorf("TreePatched = %d under a zero-budget gate", s.TreePatched)
+			}
+			if tc.name == "empty-deltas" && s.TreeRebuilt+s.TreePatched != 0 {
+				t.Errorf("static history rebuilt %d and patched %d trees", s.TreeRebuilt, s.TreePatched)
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"crashsim/internal/graph"
+	"crashsim/internal/par"
 	"crashsim/internal/rng"
 )
 
@@ -41,6 +42,12 @@ type Options struct {
 	RQ int
 	// Seed makes walk generation deterministic.
 	Seed uint64
+	// Workers bounds index-construction parallelism (per-node walk
+	// sampling fans out; every walk draws from its own (sample, origin)
+	// seeded stream and the inverted index is assembled serially in node
+	// order, so the built index is byte-identical for any value).
+	// Default 1.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +59,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxLen == 0 {
 		o.MaxLen = 10
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -70,6 +80,9 @@ func (o Options) Validate() error {
 	}
 	if q.RQ < 0 {
 		return fmt.Errorf("reads: query walks must be >= 0, got %d", q.RQ)
+	}
+	if q.Workers < 1 {
+		return fmt.Errorf("reads: workers must be >= 1, got %d", q.Workers)
 	}
 	return nil
 }
@@ -96,9 +109,13 @@ func Build(g *graph.DiGraph, opt Options) (*Index, error) {
 	return BuildCtx(context.Background(), g, opt)
 }
 
-// BuildCtx is Build with cancellation, checked once per stored sample
-// (each sample is n walks), so an abandoned construction stops within
-// one sweep over the nodes.
+// BuildCtx is Build with cancellation. The per-node walk sampling fans
+// out across opt.Workers: every walk draws from its own (sample,
+// origin) seeded stream, so parallel sampling produces the same walks
+// as serial, and the inverted occurrence index is then assembled
+// serially in (sample, node) order — the built index is byte-identical
+// for any worker count (mirroring how sling.Build parallelizes its
+// pushes).
 func BuildCtx(ctx context.Context, g *graph.DiGraph, opt Options) (*Index, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -116,20 +133,32 @@ func BuildCtx(ctx context.Context, g *graph.DiGraph, opt Options) (*Index, error
 	}
 	n := ix.g.NumNodes()
 	for k := 0; k < o.R; k++ {
+		ix.walks[k] = make([][]graph.NodeID, n)
+		ix.inv[k] = make(map[posKey][]graph.NodeID, n)
+	}
+	// One fan-out over origins, all samples per origin: walks[k][v]
+	// slots are disjoint per v, so workers never share a write target.
+	if err := par.ForEachCtx(ctx, n, o.Workers, func(v int) {
+		for k := 0; k < o.R; k++ {
+			ix.walks[k][v] = ix.sampleStored(k, graph.NodeID(v))
+		}
+	}); err != nil {
+		return nil, err
+	}
+	for k := 0; k < o.R; k++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ix.walks[k] = make([][]graph.NodeID, n)
-		ix.inv[k] = make(map[posKey][]graph.NodeID, n)
 		for v := 0; v < n; v++ {
-			ix.storeWalk(k, graph.NodeID(v))
+			ix.indexWalk(k, graph.NodeID(v))
 		}
 	}
 	return ix, nil
 }
 
-// storeWalk samples and indexes the k-th walk of origin v.
-func (ix *Index) storeWalk(k int, v graph.NodeID) {
+// sampleStored draws the k-th stored walk of origin v from its
+// dedicated (sample, origin) stream.
+func (ix *Index) sampleStored(k int, v graph.NodeID) []graph.NodeID {
 	r := rng.Split(ix.opt.Seed^uint64(k)<<32, uint64(v))
 	w := []graph.NodeID{v}
 	cur := v
@@ -144,11 +173,24 @@ func (ix *Index) storeWalk(k int, v graph.NodeID) {
 		cur = in[r.IntN(len(in))]
 		w = append(w, cur)
 	}
-	ix.walks[k][v] = w
+	return w
+}
+
+// indexWalk adds the k-th stored walk of origin v to the inverted
+// occurrence index.
+func (ix *Index) indexWalk(k int, v graph.NodeID) {
+	w := ix.walks[k][v]
 	for step := 1; step < len(w); step++ {
 		key := posKey{step: int32(step), node: w[step]}
 		ix.inv[k][key] = append(ix.inv[k][key], v)
 	}
+}
+
+// storeWalk samples and indexes the k-th walk of origin v (the update
+// path's serial primitive).
+func (ix *Index) storeWalk(k int, v graph.NodeID) {
+	ix.walks[k][v] = ix.sampleStored(k, v)
+	ix.indexWalk(k, v)
 }
 
 // dropWalk removes the k-th walk of origin v from the inverted index.

@@ -2,6 +2,7 @@ package reads
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"crashsim/internal/exact"
@@ -257,6 +258,53 @@ func TestUndirectedUpdates(t *testing.T) {
 	for v := range b {
 		if a[v] != b[v] {
 			t.Errorf("undirected incremental %g != rebuild %g at node %d", a[v], b[v], v)
+		}
+	}
+}
+
+// TestBuildWorkersDeterminism: the parallel build must produce an index
+// byte-identical to the serial one — same stored walks, same inverted
+// occurrence lists in the same order — because every walk draws from a
+// dedicated (sample, origin) stream and indexing runs serially in node
+// order. Run under -race this also exercises the sampling fan-out.
+func TestBuildWorkersDeterminism(t *testing.T) {
+	edges, err := gen.ErdosRenyi(120, 480, true, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.BuildStatic(120, true, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := diGraphOf(t, g)
+	opt := Options{R: 24, MaxLen: 8, RQ: 4, Seed: 63}
+	serial, err := Build(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		po := opt
+		po.Workers = w
+		parallel, err := Build(d, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parallel.walks, serial.walks) {
+			t.Fatalf("workers=%d: stored walks differ from serial build", w)
+		}
+		if !reflect.DeepEqual(parallel.inv, serial.inv) {
+			t.Fatalf("workers=%d: inverted index differs from serial build", w)
+		}
+		want, err := serial.SingleSource(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parallel.SingleSource(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: single-source scores differ", w)
 		}
 	}
 }

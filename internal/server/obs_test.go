@@ -74,6 +74,42 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestMetricsExposesTemporalCounters checks that a server on the
+// default registry surfaces internal/core's incremental temporal
+// pipeline counters through /metrics — the names the doc comment on
+// handleMetrics promises. Values are not asserted (other tests sharing
+// obs.Default may tick them); presence is the contract.
+func TestMetricsExposesTemporalCounters(t *testing.T) {
+	s, err := New(Config{
+		Graph:  graph.PaperExample(),
+		Params: core.Params{Iterations: 50, Seed: 1},
+		// Metrics nil → obs.Default, where core registers its counters.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, body := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	counters := body["counters"].(map[string]any)
+	for _, name := range []string{
+		"core.temporal.tree_patched",
+		"core.temporal.tree_rebuilt",
+		"core.temporal.frozen_reused",
+		"core.temporal.candtree_hits",
+		"core.temporal.candtree_misses",
+		"core.pool.patch_hits",
+		"core.pool.patch_misses",
+		"core.pool.temporal_hits",
+		"core.pool.temporal_misses",
+	} {
+		if _, ok := counters[name]; !ok {
+			t.Errorf("counter %q missing from /metrics snapshot", name)
+		}
+	}
+}
+
 // blockingEstimator parks every query until release closes, so tests
 // can hold a slot in the admission gate deterministically.
 type blockingEstimator struct {

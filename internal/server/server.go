@@ -356,8 +356,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // observations above the last bound. With the default registry the
 // snapshot includes internal/core's process-wide work counters
 // (core.walks, core.pool.* — including the frozen-tree and revReach
-// accumulator pools, core.pool.frozen_* and core.pool.revacc_* —
-// core.frozen.compiled, core.prefilter_pruned, core.temporal.*).
+// accumulator pools, core.pool.frozen_* and core.pool.revacc_*, plus
+// the incremental-pipeline scratch pools core.pool.patch_* and
+// core.pool.temporal_* — core.frozen.compiled, core.prefilter_pruned,
+// and the core.temporal.* family, which now covers the incremental
+// temporal pipeline: core.temporal.tree_patched / tree_rebuilt track
+// the source-tree patch-vs-rebuild decision, core.temporal.frozen_reused
+// counts frozen-form carries across stable snapshots, and
+// core.temporal.candtree_hits / candtree_misses account the
+// candidate-tree cache).
 // With caching enabled the counters include cache.hits, cache.misses,
 // cache.coalesced, cache.evictions and cache.expired, the gauges
 // cache.bytes and cache.entries, and the top level carries a "cache"

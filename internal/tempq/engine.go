@@ -1,6 +1,7 @@
 package tempq
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -111,7 +112,14 @@ func (e *CrashSimT) Name() string { return "crashsim-t" }
 
 // Run implements Engine.
 func (e *CrashSimT) Run(tg *temporal.Graph, u graph.NodeID, q Query) ([]graph.NodeID, error) {
-	res, err := core.CrashSimT(tg, u, q, e.Params, e.Options)
+	return e.RunCtx(context.Background(), tg, u, q)
+}
+
+// RunCtx is Run with cancellation, forwarded into the incremental
+// per-snapshot pipeline (checked between snapshots, inside the pruning
+// fan-outs and inside the sampling loops).
+func (e *CrashSimT) RunCtx(ctx context.Context, tg *temporal.Graph, u graph.NodeID, q Query) ([]graph.NodeID, error) {
+	res, err := core.CrashSimTCtx(ctx, tg, u, q, e.Params, e.Options)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package tempq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -47,6 +48,12 @@ type DurableResult struct {
 // snapshot machinery (including delta pruning) via the observer hook,
 // tracking each node's running minimum.
 func DurableTopK(tg *temporal.Graph, u graph.NodeID, k int, p core.Params, topt core.TemporalOptions) ([]DurableResult, error) {
+	return DurableTopKCtx(context.Background(), tg, u, k, p, topt)
+}
+
+// DurableTopKCtx is DurableTopK with cancellation, forwarded into the
+// underlying CrashSim-T run.
+func DurableTopKCtx(ctx context.Context, tg *temporal.Graph, u graph.NodeID, k int, p core.Params, topt core.TemporalOptions) ([]DurableResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("tempq: durable top-k needs k >= 1, got %d", k)
 	}
@@ -54,7 +61,7 @@ func DurableTopK(tg *temporal.Graph, u graph.NodeID, k int, p core.Params, topt 
 	topt.Observer = func(t int, scores core.Scores) {
 		observeMin(min, t, scores)
 	}
-	if _, err := core.CrashSimT(tg, u, keepAll{}, p, topt); err != nil {
+	if _, err := core.CrashSimTCtx(ctx, tg, u, keepAll{}, p, topt); err != nil {
 		return nil, err
 	}
 	out := make([]DurableResult, 0, len(min))

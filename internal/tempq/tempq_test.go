@@ -1,6 +1,8 @@
 package tempq
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -195,5 +197,25 @@ func TestEngineNames(t *testing.T) {
 func TestDirectionString(t *testing.T) {
 	if Increasing.String() != "increasing" || Decreasing.String() != "decreasing" {
 		t.Error("direction strings wrong")
+	}
+}
+
+// TestRunCtxCancellation: a pre-cancelled context must abort the
+// CrashSim-T pipeline (and DurableTopKCtx, which rides on it) instead
+// of running the full snapshot sequence.
+func TestRunCtxCancellation(t *testing.T) {
+	tg := smallTemporal(t, 40, 120, 4, 77)
+	e := &CrashSimT{Params: core.Params{C: 0.6, Iterations: 200, Seed: 41}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunCtx(ctx, tg, 0, Threshold{Theta: 0.1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCtx with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := DurableTopKCtx(ctx, tg, 0, 3, e.Params, core.TemporalOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("DurableTopKCtx with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// The background-context paths still work after a cancelled attempt.
+	if _, err := e.Run(tg, 0, Threshold{Theta: 0.1}); err != nil {
+		t.Errorf("Run after cancelled RunCtx: %v", err)
 	}
 }
