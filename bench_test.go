@@ -138,6 +138,18 @@ func BenchmarkKernelComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkThroughput regenerates the multi-source batch throughput
+// comparison (one batched call vs a sequential query loop over the same
+// Zipf-skewed sources) behind BENCH_crashsim.json's batch section.
+func BenchmarkThroughput(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Throughput(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMemory regenerates the index-footprint comparison.
 func BenchmarkMemory(b *testing.B) {
 	cfg := benchConfig()

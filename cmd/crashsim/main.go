@@ -5,10 +5,11 @@
 //	crashsim -graph wiki.txt -source 3 -topk 10
 //	crashsim -profile hepth -scale 0.05 -source 3 -algo probesim
 //
-// Single-pair and top-k queries:
+// Single-pair, top-k and batched multi-source queries:
 //
 //	crashsim -graph wiki.txt -source 3 -pair 17
 //	crashsim -graph wiki.txt -source 3 -algo topk -topk 10
+//	crashsim -graph wiki.txt -batch 3,17,3 -topk 5
 //
 // Temporal queries over a temporal edge-list file:
 //
@@ -38,6 +39,7 @@ func main() {
 		statsOnly    = flag.Bool("stats", false, "print graph statistics and exit (static only)")
 		source       = flag.Int("source", 0, "query source node")
 		pairNode     = flag.Int("pair", -1, "second node for a single-pair query (static only)")
+		batch        = flag.String("batch", "", "comma-separated sources for one batched multi-source query (static only)")
 		algo         = flag.String("algo", "crashsim", "static algorithm: "+strings.Join(crashsim.EstimatorNames(), ", ")+", or topk")
 		query        = flag.String("query", "threshold", "temporal query: threshold, trend, or durable")
 		theta        = flag.Float64("theta", 0.05, "threshold θ")
@@ -64,6 +66,8 @@ func main() {
 		err = runTemporal(*temporalFile, *source, *query, *theta, *direction, *slack, *topk, opt)
 	case *pairNode >= 0:
 		err = runPair(*graphFile, *profile, *scale, *source, *pairNode, opt)
+	case *batch != "":
+		err = runBatch(*graphFile, *profile, *scale, *batch, *algo, *topk, opt)
 	default:
 		err = runStatic(*graphFile, *profile, *scale, *source, *algo, *topk, cc, opt)
 	}
@@ -166,6 +170,45 @@ func runStatic(graphFile, profile string, scale float64, source int, algo string
 		}
 		for rank, v := range crashsim.TopSimilar(scores, u, topk) {
 			fmt.Printf("%3d. node %-8d sim=%.5f\n", rank+1, v, scores[v])
+		}
+	}
+	return nil
+}
+
+// runBatch answers one batched multi-source query: every listed source
+// (duplicates kept, as a request batcher would send them) goes through
+// the engine's MultiSource entry point — the batched pipeline on
+// backends with a native batch mode, a sequential loop elsewhere — and
+// prints each source's top-k.
+func runBatch(graphFile, profile string, scale float64, batch, algo string, topk int, opt crashsim.Options) error {
+	g, err := loadStatic(graphFile, profile, scale, opt.Seed)
+	if err != nil {
+		return err
+	}
+	var sources []crashsim.NodeID
+	for _, field := range strings.Split(batch, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(field), "%d", &v); err != nil {
+			return fmt.Errorf("bad -batch entry %q: %w", field, err)
+		}
+		sources = append(sources, crashsim.NodeID(v))
+	}
+	ctx := context.Background()
+	fmt.Printf("graph: n=%d m=%d directed=%t\n", g.NumNodes(), g.NumEdges(), g.Directed())
+	est, err := crashsim.NewEstimator(ctx, algo, g, opt)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	results, err := crashsim.EstimatorMultiSource(ctx, est, sources)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s batch of %d sources in %v\n", algo, len(sources), time.Since(start).Round(time.Microsecond))
+	for i, u := range sources {
+		fmt.Printf("source %d:\n", u)
+		for rank, v := range crashsim.TopSimilar(results[i], u, topk) {
+			fmt.Printf("%3d. node %-8d sim=%.5f\n", rank+1, v, results[i][v])
 		}
 	}
 	return nil

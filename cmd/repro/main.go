@@ -6,7 +6,7 @@
 //	repro [flags] [experiment ...]
 //
 // Experiments: table2, table3, example2, fig5, fig6, fig7, ablation,
-// extra, scaling, memory, kernel, all (default: all). Flags tune scale
+// extra, scaling, memory, kernel, throughput, all (default: all). Flags tune scale
 // and budgets; the defaults finish in a few minutes. EXPERIMENTS.md
 // records committed results with the exact flags used.
 package main
@@ -31,6 +31,7 @@ func main() {
 	flag.Float64Var(&cfg.IterScale, "iter-scale", 0, "multiplier on theory-derived iteration counts (default 0.02)")
 	flag.IntVar(&cfg.GroundTruthIters, "gt-iters", 0, "power-method iterations for ground truth (default 55)")
 	flag.StringVar(&cfg.Fig7Query, "fig7-query", "", "fig7 query type: trend or threshold (default trend)")
+	flag.Float64Var(&cfg.ZipfS, "zipf-s", 0, "rank-Zipf exponent for the throughput experiment's source skew (default 1.3)")
 	seed := flag.Uint64("seed", 0, "experiment seed (default 42)")
 	format := flag.String("format", "table", "output format: table or csv")
 	kernelJSON := flag.String("kernel-json", "", "if set, the kernel experiment also writes its machine-readable comparison to this file (e.g. BENCH_crashsim.json)")
@@ -60,6 +61,7 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJ
 	switch name {
 	case "all":
 		for _, e := range []string{"table2", "table3", "example2", "fig5", "fig6", "fig7", "ablation", "extra", "scaling", "memory", "kernel"} {
+			// "kernel" covers the throughput section too; no separate entry.
 			if err := run(e, cfg, print, kernelJSON); err != nil {
 				return err
 			}
@@ -75,6 +77,11 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJ
 			return err
 		}
 		cmp.Temporal = tcmp
+		bcmp, brep, err := bench.Throughput(cfg)
+		if err != nil {
+			return err
+		}
+		cmp.Batch = bcmp
 		if kernelJSON != "" {
 			f, err := os.Create(kernelJSON)
 			if err != nil {
@@ -91,7 +98,29 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJ
 		if err := print(rep); err != nil {
 			return err
 		}
-		return print(trep)
+		if err := print(trep); err != nil {
+			return err
+		}
+		return print(brep)
+	case "throughput":
+		cmp, rep, err := bench.Throughput(cfg)
+		if err != nil {
+			return err
+		}
+		if kernelJSON != "" {
+			f, err := os.Create(kernelJSON)
+			if err != nil {
+				return err
+			}
+			if err := cmp.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return print(rep)
 	case "table2":
 		_, rep, err := bench.Table2()
 		if err != nil {
@@ -160,6 +189,6 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJ
 		}
 		return print(rep)
 	default:
-		return fmt.Errorf("unknown experiment %q (want table2, table3, example2, fig5, fig6, fig7, ablation, extra, scaling, memory, kernel, all)", name)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, example2, fig5, fig6, fig7, ablation, extra, scaling, memory, kernel, throughput, all)", name)
 	}
 }

@@ -6,14 +6,16 @@
 //	curl 'localhost:8080/singlesource?u=3&k=10'
 //	curl 'localhost:8080/pair?u=3&v=17'
 //	curl 'localhost:8080/topk?u=3&k=10'
+//	curl -d '{"sources":[3,17,3],"k":10}' 'localhost:8080/batch/singlesource'
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics'
 //
 // The backend is selected with -algo (crashsim, probesim, sling, reads,
 // exact); index-based backends build their index at startup. Each query
 // runs under a per-request deadline (-timeout), concurrent estimates
-// are bounded by an admission gate (-max-inflight; excess queries get
-// 429 + Retry-After), /metrics reports query counts, latency histograms
+// are bounded by an admission gate (-max-inflight, weighted by batch
+// size; excess queries get 429 + Retry-After; -max-batch caps batch
+// length), /metrics reports query counts, latency histograms
 // and Monte-Carlo work counters, -pprof mounts /debug/pprof/, and the
 // process drains in-flight requests and exits cleanly on
 // SIGINT/SIGTERM.
@@ -59,7 +61,9 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "random seed")
 		timeout   = flag.Duration("timeout", server.DefaultTimeout, "per-query estimation deadline (negative disables)")
 		maxInFl   = flag.Int("max-inflight", server.DefaultMaxInFlight(),
-			"max concurrent query estimates before 429 (negative disables admission control)")
+			"max concurrent query estimates before 429, counting each batched source (negative disables admission control)")
+		maxBatch = flag.Int("max-batch", 0,
+			"max sources per /batch/singlesource request (default 128)")
 		cacheBytes = flag.Int64("cache-bytes", 64<<20,
 			"query-result cache capacity in bytes (0 disables caching)")
 		cacheTTL = flag.Duration("cache-ttl", 0,
@@ -79,6 +83,7 @@ func main() {
 		Params:      core.Params{C: *c, Eps: *eps, Iterations: *iters, Seed: *seed},
 		Timeout:     *timeout,
 		MaxInFlight: *maxInFl,
+		MaxBatch:    *maxBatch,
 		CacheBytes:  *cacheBytes,
 		CacheTTL:    *cacheTTL,
 		EnablePprof: *pprofOn,

@@ -121,11 +121,21 @@ func Partial(g *Graph, u NodeID, omega []NodeID, opt Options) (Scores, error) {
 	return core.SingleSource(g, u, omega, opt.params())
 }
 
-// MultiSource answers a batch of single-source queries; Workers bounds
-// the cross-source parallelism and results match per-source SingleSource
+// MultiSource answers a batch of single-source queries in one batched
+// pipeline pass: each distinct source's reverse reachable tree is built
+// once and all sources' walk kernels run through a single parallel
+// fan-out (Workers bounds it). Results match per-source SingleSource
 // calls bit-for-bit.
 func MultiSource(g *Graph, sources []NodeID, opt Options) (map[NodeID]Scores, error) {
-	return core.MultiSource(g, sources, opt.params())
+	res, err := core.MultiSource(context.Background(), g, sources, nil, opt.params())
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[NodeID]Scores, len(sources))
+	for i, u := range sources {
+		out[u] = res[i]
+	}
+	return out, nil
 }
 
 // RankedNode is one answer of a top-k query.
@@ -210,6 +220,16 @@ func EstimatorTopK(ctx context.Context, est Estimator, u NodeID, k int) ([]Ranke
 // EstimatorPair answers sim(u, v) through any Estimator.
 func EstimatorPair(ctx context.Context, est Estimator, u, v NodeID) (float64, error) {
 	return engine.Pair(ctx, est, u, v)
+}
+
+// EstimatorMultiSource answers a batch of single-source queries through
+// any Estimator — natively batched where the backend supports it
+// (crashsim builds each distinct source's tree once and fans all
+// sources out together), sequentially otherwise. The result is parallel
+// to sources and matches per-source EstimatorTopK-style dispatch
+// bit-for-bit.
+func EstimatorMultiSource(ctx context.Context, est Estimator, sources []NodeID) ([]Scores, error) {
+	return engine.MultiSource(ctx, est, sources)
 }
 
 // Exact computes the all-pairs SimRank ground truth with the Power

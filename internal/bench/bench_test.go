@@ -273,6 +273,44 @@ func TestMemoryQuick(t *testing.T) {
 	}
 }
 
+func TestThroughputQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run skipped in -short mode")
+	}
+	cfg := quickConfig()
+	cfg.BatchSizes = []int{4}
+	cmp, rep, err := Throughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5; len(cmp.Results) != want { // 5 datasets × 1 batch size
+		t.Fatalf("throughput produced %d rows, want %d", len(cmp.Results), want)
+	}
+	for _, r := range cmp.Results {
+		if r.Batch != 4 || r.UniqueSources < 1 || r.UniqueSources > r.Batch {
+			t.Errorf("%s: bad batch accounting %+v", r.Dataset, r)
+		}
+		if r.SequentialQPS <= 0 || r.BatchQPS <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s: non-positive timing %+v", r.Dataset, r)
+		}
+	}
+	if cmp.GeoMeanSpeedup <= 0 || math.IsNaN(cmp.GeoMeanSpeedup) {
+		t.Errorf("geomean speedup = %g", cmp.GeoMeanSpeedup)
+	}
+	if len(rep.Rows) != len(cmp.Results) {
+		t.Error("report row count mismatch")
+	}
+	var buf bytes.Buffer
+	if err := cmp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"batch_qps"`, `"unique_sources"`, `"geomean_speedup"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing %s", key)
+		}
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.WithDefaults()
 	if c.Scale != 0.05 || c.Sources != 5 || c.C != 0.6 || c.Seed == 0 {

@@ -41,6 +41,9 @@ type KernelComparison struct {
 	// Temporal is the CrashSim-T incremental-pipeline section
 	// (TemporalKernel); nil when only the static kernel ran.
 	Temporal *TemporalComparison `json:"temporal,omitempty"`
+	// Batch is the multi-source throughput section (Throughput); nil
+	// when the throughput experiment did not run.
+	Batch *ThroughputComparison `json:"batch,omitempty"`
 }
 
 // WriteJSON renders the comparison as indented JSON.

@@ -202,41 +202,7 @@ func estimateWith(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []g
 
 	statCandidates.Add(uint64(len(omega)))
 
-	// Zero-score prefilter: a candidate's walk can only crash into the
-	// source tree if the candidate is forward-reachable (via out-edges)
-	// from some tree node within l_max hops. Everything else provably
-	// scores 0, so it is excluded before any sampling — on graphs with
-	// small reverse neighborhoods (e.g. citation graphs with many
-	// uncited papers) this removes most of the work. The frozen path
-	// runs the BFS over a pooled bitset; the legacy path keeps the map
-	// form so the ablation measures the old kernel end to end.
-	live := omega
-	if !p.DisablePrefilter {
-		live = sc.live[:0]
-		if ft != nil {
-			reach := newNodeBitset(sc.reach, n)
-			sc.frontier, sc.next = forwardReachBits(g, ft.SupportNodes(), p.Lmax, reach, sc.frontier, sc.next)
-			sc.reach = reach
-			for _, v := range omega {
-				if reach.Has(v) && g.InDegree(v) > 0 {
-					live = append(live, v)
-				} else if v == u {
-					dense[v] = 1
-				}
-			}
-		} else {
-			reach := forwardReach(g, tree.Nodes(), p.Lmax)
-			for _, v := range omega {
-				if _, ok := reach[v]; ok && g.InDegree(v) > 0 {
-					live = append(live, v)
-				} else if v == u {
-					dense[v] = 1
-				}
-			}
-		}
-		sc.live = live
-		statPrefilterPruned.Add(uint64(len(omega) - len(live)))
-	}
+	live := sc.liveCandidates(g, u, omega, p, tree, ft, dense)
 
 	workers := p.Workers
 	if workers > len(live) {
@@ -313,6 +279,52 @@ func estimateWith(ctx context.Context, g *graph.Graph, u graph.NodeID, omega []g
 		scores[v] = dense[v]
 	}
 	return scores, nil
+}
+
+// liveCandidates applies the zero-score prefilter for one source query:
+// a candidate's walk can only crash into the source tree if the
+// candidate is forward-reachable (via out-edges) from some tree node
+// within l_max hops. Everything else provably scores 0, so it is
+// excluded before any sampling — on graphs with small reverse
+// neighborhoods (e.g. citation graphs with many uncited papers) this
+// removes most of the work. A non-nil ft runs the BFS over a pooled
+// bitset; the legacy path keeps the map form so the ablation measures
+// the old kernel end to end. A pruned source gets its defined
+// self-score written into dense directly (sim(u,u) = 1). The returned
+// slice aliases sc.live and is valid until the next call; with the
+// prefilter disabled it is omega unchanged. Both the single-source and
+// the batched multi-source paths run their candidate sets through this
+// one helper, so the pruning decision is identical in either mode.
+func (sc *scratch) liveCandidates(g *graph.Graph, u graph.NodeID, omega []graph.NodeID, p Params, tree *ReachTree, ft *FrozenTree, dense []float64) []graph.NodeID {
+	if p.DisablePrefilter {
+		return omega
+	}
+	n := g.NumNodes()
+	live := sc.live[:0]
+	if ft != nil {
+		reach := newNodeBitset(sc.reach, n)
+		sc.frontier, sc.next = forwardReachBits(g, ft.SupportNodes(), p.Lmax, reach, sc.frontier, sc.next)
+		sc.reach = reach
+		for _, v := range omega {
+			if reach.Has(v) && g.InDegree(v) > 0 {
+				live = append(live, v)
+			} else if v == u {
+				dense[v] = 1
+			}
+		}
+	} else {
+		reach := forwardReach(g, tree.Nodes(), p.Lmax)
+		for _, v := range omega {
+			if _, ok := reach[v]; ok && g.InDegree(v) > 0 {
+				live = append(live, v)
+			} else if v == u {
+				dense[v] = 1
+			}
+		}
+	}
+	sc.live = live
+	statPrefilterPruned.Add(uint64(len(omega) - len(live)))
+	return live
 }
 
 // forwardReach returns the set of nodes reachable from any source node

@@ -38,6 +38,22 @@ var (
 	statRevAccHits    = obs.Default.Counter("core.pool.revacc_hits")
 	statRevAccMisses  = obs.Default.Counter("core.pool.revacc_misses")
 
+	// Batched multi-source pipeline traffic: batches counts MultiSource
+	// calls, sources the requested sources across them, dedup_hits the
+	// repeated sources satisfied by cloning a batch-mate's result
+	// instead of re-sampling, and items the flattened (source,
+	// candidate) work units that reached the fan-out (post-dedup,
+	// post-prefilter). sources/batches is the mean batch size;
+	// dedup_hits/sources is the fraction of requests amortized away.
+	statBatches      = obs.Default.Counter("core.batch.batches")
+	statBatchSources = obs.Default.Counter("core.batch.sources")
+	statBatchDedup   = obs.Default.Counter("core.batch.dedup_hits")
+	statBatchItems   = obs.Default.Counter("core.batch.items")
+
+	// Batch scratch-arena pool traffic, mirroring the core.pool.* pairs.
+	statBatchScratchHits   = obs.Default.Counter("core.pool.batch_hits")
+	statBatchScratchMisses = obs.Default.Counter("core.pool.batch_misses")
+
 	// statFrozenCompiled counts reverse-reachable trees compiled into
 	// the flat FrozenTree form (one per query on the default kernel;
 	// zero when DisableFrozenKernel routes through the map kernel).

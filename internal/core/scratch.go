@@ -74,6 +74,79 @@ func (s *scratch) identity(n int) []graph.NodeID {
 	return s.omega
 }
 
+// srcPrep is one unique source's prepared state within a batch: its
+// reverse reachable tree, the compiled form when the freeze gate held,
+// and this source's dense score window of the shared slab.
+type srcPrep struct {
+	u     graph.NodeID
+	tree  *ReachTree
+	ft    *FrozenTree
+	dense []float64
+}
+
+// batchItem is one (source, candidate) unit of MultiSource's flattened
+// work list; src indexes the batch's unique-source prep table.
+type batchItem struct {
+	src int32
+	v   graph.NodeID
+}
+
+// batchScratch bundles the per-batch buffers of MultiSource: the shared
+// dense score slab (k disjoint windows of length n, one per unique
+// source), the flattened work list, the per-source prep records, and an
+// embedded scratch providing the prefilter BFS state and the identity
+// candidate list — one arena acquisition per batch instead of one
+// scratch per source.
+type batchScratch struct {
+	slab  []float64
+	work  []batchItem
+	preps []srcPrep
+	sc    scratch
+}
+
+var batchScratchPool sync.Pool
+
+// acquireBatchScratch returns a batchScratch whose slab covers k
+// sources of n nodes each, zeroed, with empty work and prep lists.
+func acquireBatchScratch(k, n int, pooled bool) *batchScratch {
+	var bs *batchScratch
+	if pooled {
+		if v := batchScratchPool.Get(); v != nil {
+			bs = v.(*batchScratch)
+			statBatchScratchHits.Inc()
+		} else {
+			bs = new(batchScratch)
+			statBatchScratchMisses.Inc()
+		}
+	} else {
+		bs = new(batchScratch)
+	}
+	need := k * n
+	if cap(bs.slab) < need {
+		bs.slab = make([]float64, need)
+	} else {
+		bs.slab = bs.slab[:need]
+		clear(bs.slab)
+	}
+	bs.work = bs.work[:0]
+	bs.preps = bs.preps[:0]
+	return bs
+}
+
+// release returns the arena to the pool, dropping the per-source
+// pointers first so pooled storage never pins trees that were already
+// handed back to their own pools.
+func (bs *batchScratch) release(pooled bool) {
+	if !pooled {
+		return
+	}
+	for i := range bs.preps {
+		bs.preps[i] = srcPrep{}
+	}
+	bs.preps = bs.preps[:0]
+	batchScratchPool.Put(bs)
+}
+
 // walkPool recycles the per-worker walk buffers of the parallel
 // estimate path (the sequential path uses scratch.walk).
 var walkPool sync.Pool

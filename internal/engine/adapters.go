@@ -45,6 +45,10 @@ func (e *crashSim) Pair(ctx context.Context, u, v graph.NodeID) (float64, error)
 	return core.SinglePairCtx(ctx, e.g, u, v, e.p)
 }
 
+func (e *crashSim) MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	return core.MultiSource(ctx, e.g, sources, nil, e.p)
+}
+
 // probeSim adapts the index-free ProbeSim baseline.
 type probeSim struct {
 	g *graph.Graph

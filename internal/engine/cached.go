@@ -34,9 +34,17 @@ import (
 // LRU.
 //
 // Like the metrics wrapper, Cached preserves the inner estimator's
-// capabilities: the returned Estimator advertises TopKer/Pairer exactly
-// when the wrapped one does, so the package-level TopK/Pair fallbacks
-// behave identically with and without caching.
+// capabilities: the returned Estimator advertises TopKer/Pairer/
+// MultiSourcer exactly when the wrapped one does, so the package-level
+// TopK/Pair/MultiSource fallbacks behave identically with and without
+// caching.
+//
+// Multi-source batches probe per source key — the same "ss" keys
+// single-source queries use, so a batch warms the cache for later
+// single queries and vice versa — and only the missing sources are
+// computed, as one inner batch. The fill goes through Do per missing
+// key, so concurrent identical requests still coalesce to one
+// computation per source.
 //
 // Values handed to callers are clones of the cached canonical copy
 // (maps and slices are aliasable; a caller mutating its result must not
@@ -81,15 +89,31 @@ func Cached(est Estimator, cc CacheConfig) (Estimator, error) {
 		cc.Version = func() uint64 { return 0 }
 	}
 	base := &cached{inner: est, cc: cc, prefix: cc.Scope + "|" + est.Name() + "|"}
-	_, hasTopK := est.(TopKer)
-	_, hasPair := est.(Pairer)
-	switch {
-	case hasTopK && hasPair:
-		return cachedTopKPair{base}, nil
-	case hasTopK:
+	var mask int
+	if _, ok := est.(TopKer); ok {
+		mask |= 1
+	}
+	if _, ok := est.(Pairer); ok {
+		mask |= 2
+	}
+	if _, ok := est.(MultiSourcer); ok {
+		mask |= 4
+	}
+	switch mask {
+	case 1:
 		return cachedTopK{base}, nil
-	case hasPair:
+	case 2:
 		return cachedPair{base}, nil
+	case 3:
+		return cachedTopKPair{base}, nil
+	case 4:
+		return cachedMulti{base}, nil
+	case 5:
+		return cachedTopKMulti{base}, nil
+	case 6:
+		return cachedPairMulti{base}, nil
+	case 7:
+		return cachedTopKPairMulti{base}, nil
 	default:
 		return base, nil
 	}
@@ -103,12 +127,19 @@ type cached struct {
 
 func (e *cached) Name() string { return e.inner.Name() }
 
-// key assembles scope|backend|version|op|args.
+// key assembles scope|backend|version|op|args at the current graph
+// version.
 func (e *cached) key(op string, args ...int64) string {
+	return e.keyAt(e.cc.Version(), op, args...)
+}
+
+// keyAt is key with a caller-pinned graph version, so a multi-source
+// batch addresses one consistent version across all its probes.
+func (e *cached) keyAt(version uint64, op string, args ...int64) string {
 	var b strings.Builder
 	b.Grow(len(e.prefix) + len(op) + 8 + 16*len(args))
 	b.WriteString(e.prefix)
-	b.WriteString(strconv.FormatUint(e.cc.Version(), 10))
+	b.WriteString(strconv.FormatUint(version, 10))
 	b.WriteByte('|')
 	b.WriteString(op)
 	for _, a := range args {
@@ -182,6 +213,77 @@ func (e *cached) pairThrough(ctx context.Context, u, v graph.NodeID) (float64, e
 	return r.(float64), nil
 }
 
+// multiThrough serves a batch through the cache: probe each source's
+// "ss" key (keys are assembled once up front, pinning one graph version
+// for the whole batch), serve the hits from memory, and compute only
+// the missing sources — deduplicated — as one inner batch. The inner
+// call runs lazily inside the first missing key's Do fill, so a source
+// another goroutine is already computing is waited on (singleflight)
+// rather than recomputed, and a fully cached batch never touches the
+// backend.
+func (e *cached) multiThrough(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	out := make([]core.Scores, len(sources))
+	var missUniq []graph.NodeID
+	missKey := make(map[graph.NodeID]string)
+	version := e.cc.Version()
+	for i, u := range sources {
+		if _, ok := missKey[u]; ok {
+			continue // a batch-mate already probes (or fills) this source
+		}
+		key := e.keyAt(version, "ss", int64(u))
+		if v, ok := e.cc.Cache.Get(key); ok {
+			out[i] = v.(core.Scores)
+			continue
+		}
+		missKey[u] = key
+		missUniq = append(missUniq, u)
+	}
+
+	// One lazy inner batch shared by every missing key's fill closure:
+	// whichever Do actually computes first triggers it; the rest read
+	// their source's slice out of the finished batch.
+	var batch map[graph.NodeID]core.Scores
+	var batchErr error
+	fill := func(ctx context.Context) error {
+		if batch == nil && batchErr == nil {
+			res, err := e.inner.(MultiSourcer).MultiSource(ctx, missUniq)
+			if err != nil {
+				batchErr = err
+			} else {
+				batch = make(map[graph.NodeID]core.Scores, len(missUniq))
+				for j, u := range missUniq {
+					batch[u] = res[j]
+				}
+			}
+		}
+		return batchErr
+	}
+	for _, u := range missUniq {
+		v, _, err := e.cc.Cache.Do(ctx, missKey[u], func(ctx context.Context) (any, int64, error) {
+			if err := fill(ctx); err != nil {
+				return nil, 0, err
+			}
+			s := batch[u]
+			return s, scoresBaseSize + scoresEntrySize*int64(len(s)), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		canon := v.(core.Scores)
+		for i, src := range sources {
+			if src == u {
+				out[i] = canon
+			}
+		}
+	}
+	// Clone on every path: the canonical copies stay private to the
+	// cache, and duplicate sources must not alias each other.
+	for i := range out {
+		out[i] = maps.Clone(out[i])
+	}
+	return out, nil
+}
+
 type cachedTopK struct{ *cached }
 
 func (e cachedTopK) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
@@ -194,6 +296,12 @@ func (e cachedPair) Pair(ctx context.Context, u, v graph.NodeID) (float64, error
 	return e.pairThrough(ctx, u, v)
 }
 
+type cachedMulti struct{ *cached }
+
+func (e cachedMulti) MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	return e.multiThrough(ctx, sources)
+}
+
 type cachedTopKPair struct{ *cached }
 
 func (e cachedTopKPair) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
@@ -202,4 +310,38 @@ func (e cachedTopKPair) TopK(ctx context.Context, u graph.NodeID, k int) ([]core
 
 func (e cachedTopKPair) Pair(ctx context.Context, u, v graph.NodeID) (float64, error) {
 	return e.pairThrough(ctx, u, v)
+}
+
+type cachedTopKMulti struct{ *cached }
+
+func (e cachedTopKMulti) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
+	return e.topKThrough(ctx, u, k)
+}
+
+func (e cachedTopKMulti) MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	return e.multiThrough(ctx, sources)
+}
+
+type cachedPairMulti struct{ *cached }
+
+func (e cachedPairMulti) Pair(ctx context.Context, u, v graph.NodeID) (float64, error) {
+	return e.pairThrough(ctx, u, v)
+}
+
+func (e cachedPairMulti) MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	return e.multiThrough(ctx, sources)
+}
+
+type cachedTopKPairMulti struct{ *cached }
+
+func (e cachedTopKPairMulti) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
+	return e.topKThrough(ctx, u, k)
+}
+
+func (e cachedTopKPairMulti) Pair(ctx context.Context, u, v graph.NodeID) (float64, error) {
+	return e.pairThrough(ctx, u, v)
+}
+
+func (e cachedTopKPairMulti) MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	return e.multiThrough(ctx, sources)
 }

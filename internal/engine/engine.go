@@ -16,6 +16,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"crashsim/internal/core"
@@ -48,6 +49,16 @@ type TopKer interface {
 // uniform entry point with a generic fallback.
 type Pairer interface {
 	Pair(ctx context.Context, u, v graph.NodeID) (float64, error)
+}
+
+// MultiSourcer is implemented by estimators with a native batch mode
+// (CrashSim's one-compile-per-source, one-fan-out pipeline). The result
+// is parallel to sources and each entry is bit-identical to the
+// corresponding SingleSource call; on error the whole batch fails and
+// the result is nil. Use the package-level MultiSource for a uniform
+// entry point with a sequential-loop fallback.
+type MultiSourcer interface {
+	MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error)
 }
 
 // Config carries the parameters shared by all families plus the few
@@ -179,8 +190,32 @@ func Pair(ctx context.Context, est Estimator, u, v graph.NodeID) (float64, error
 	return scores[v], nil
 }
 
-// rank sorts scores by descending score (node id breaking ties),
-// excluding the source.
+// MultiSource answers a batch of single-source queries through est:
+// natively when est implements MultiSourcer, otherwise by a sequential
+// loop of SingleSource calls. Every entry of the result corresponds to
+// the same position of sources. On a mid-batch failure the fallback
+// returns the completed prefix together with the error (so a canceled
+// batch's partial results carry ctx.Err()); the native path is
+// all-or-nothing and returns nil results on error.
+func MultiSource(ctx context.Context, est Estimator, sources []graph.NodeID) ([]core.Scores, error) {
+	if m, ok := est.(MultiSourcer); ok {
+		return m.MultiSource(ctx, sources)
+	}
+	out := make([]core.Scores, 0, len(sources))
+	for _, u := range sources {
+		s, err := est.SingleSource(ctx, u, nil)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// rank sorts scores by descending score, excluding the source. Ties
+// break by ascending node id — a total order, so the ranking is
+// deterministic across runs even though the input map iterates in
+// random order (TestRankDeterministicTies pins this).
 func rank(s core.Scores, u graph.NodeID) []core.TopKResult {
 	out := make([]core.TopKResult, 0, len(s))
 	for v, score := range s {
@@ -189,11 +224,15 @@ func rank(s core.Scores, u graph.NodeID) []core.TopKResult {
 		}
 		out = append(out, core.TopKResult{Node: v, Score: score})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	slices.SortFunc(out, func(a, b core.TopKResult) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		default:
+			return int(a.Node) - int(b.Node)
 		}
-		return out[i].Node < out[j].Node
 	})
 	return out
 }

@@ -15,20 +15,27 @@ import (
 // CLIs, the bench harness — get query counts, error/cancellation
 // counts and end-to-end latency histograms for free, named
 //
-//	engine.<backend>.queries             total queries (all ops)
-//	engine.<backend>.queries.<op>        per-op counts (singlesource, topk, pair)
+//	engine.<backend>.queries             total queries (all ops; a batch counts one per source)
+//	engine.<backend>.queries.<op>        per-op counts (singlesource, topk, pair, multisource)
 //	engine.<backend>.errors              non-cancellation failures
 //	engine.<backend>.canceled            context cancellations/deadlines
 //	engine.<backend>.latency             latency histogram across all ops
 //
+// A multi-source batch adds its source count to queries (so the total
+// stays "queries answered" whatever the transport), ticks
+// queries.multisource once per batch, and records one latency
+// observation for the whole batch.
+//
 // The wrapper preserves the inner estimator's capabilities: it only
-// advertises TopKer/Pairer when the wrapped backend does, so the
-// package-level TopK/Pair fallbacks behave exactly as before.
+// advertises TopKer/Pairer/MultiSourcer when the wrapped backend does,
+// so the package-level TopK/Pair/MultiSource fallbacks behave exactly
+// as before.
 type backendMetrics struct {
 	queries      *obs.Counter
 	singleSource *obs.Counter
 	topK         *obs.Counter
 	pair         *obs.Counter
+	multiSource  *obs.Counter
 	errors       *obs.Counter
 	canceled     *obs.Counter
 	latency      *obs.Histogram
@@ -41,6 +48,7 @@ func newBackendMetrics(reg *obs.Registry, backend string) *backendMetrics {
 		singleSource: reg.Counter(p + "queries.singlesource"),
 		topK:         reg.Counter(p + "queries.topk"),
 		pair:         reg.Counter(p + "queries.pair"),
+		multiSource:  reg.Counter(p + "queries.multisource"),
 		errors:       reg.Counter(p + "errors"),
 		canceled:     reg.Counter(p + "canceled"),
 		latency:      reg.Histogram(p + "latency"),
@@ -98,6 +106,20 @@ func (e *metered) pairThrough(ctx context.Context, u, v graph.NodeID) (float64, 
 	return s, err
 }
 
+func (e *metered) multiSourceThrough(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	e.m.queries.Add(uint64(len(sources)))
+	e.m.multiSource.Inc()
+	start := time.Now()
+	r, err := e.inner.(MultiSourcer).MultiSource(ctx, sources)
+	e.m.done(start, err)
+	return r, err
+}
+
+// The wrapper combos below cover every subset of the three optional
+// interfaces, so the metered estimator advertises exactly what the
+// wrapped backend implements. meter picks the variant by capability
+// bitmask.
+
 type meteredTopK struct{ *metered }
 
 func (e meteredTopK) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
@@ -110,6 +132,12 @@ func (e meteredPair) Pair(ctx context.Context, u, v graph.NodeID) (float64, erro
 	return e.pairThrough(ctx, u, v)
 }
 
+type meteredMulti struct{ *metered }
+
+func (e meteredMulti) MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	return e.multiSourceThrough(ctx, sources)
+}
+
 type meteredTopKPair struct{ *metered }
 
 func (e meteredTopKPair) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
@@ -120,19 +148,69 @@ func (e meteredTopKPair) Pair(ctx context.Context, u, v graph.NodeID) (float64, 
 	return e.pairThrough(ctx, u, v)
 }
 
+type meteredTopKMulti struct{ *metered }
+
+func (e meteredTopKMulti) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
+	return e.topKThrough(ctx, u, k)
+}
+
+func (e meteredTopKMulti) MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	return e.multiSourceThrough(ctx, sources)
+}
+
+type meteredPairMulti struct{ *metered }
+
+func (e meteredPairMulti) Pair(ctx context.Context, u, v graph.NodeID) (float64, error) {
+	return e.pairThrough(ctx, u, v)
+}
+
+func (e meteredPairMulti) MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	return e.multiSourceThrough(ctx, sources)
+}
+
+type meteredTopKPairMulti struct{ *metered }
+
+func (e meteredTopKPairMulti) TopK(ctx context.Context, u graph.NodeID, k int) ([]core.TopKResult, error) {
+	return e.topKThrough(ctx, u, k)
+}
+
+func (e meteredTopKPairMulti) Pair(ctx context.Context, u, v graph.NodeID) (float64, error) {
+	return e.pairThrough(ctx, u, v)
+}
+
+func (e meteredTopKPairMulti) MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	return e.multiSourceThrough(ctx, sources)
+}
+
 // meter wraps inner with metrics, picking the wrapper variant that
 // mirrors the inner estimator's optional interfaces.
 func meter(inner Estimator, m *backendMetrics) Estimator {
 	base := &metered{inner: inner, m: m}
-	_, hasTopK := inner.(TopKer)
-	_, hasPair := inner.(Pairer)
-	switch {
-	case hasTopK && hasPair:
-		return meteredTopKPair{base}
-	case hasTopK:
+	var mask int
+	if _, ok := inner.(TopKer); ok {
+		mask |= 1
+	}
+	if _, ok := inner.(Pairer); ok {
+		mask |= 2
+	}
+	if _, ok := inner.(MultiSourcer); ok {
+		mask |= 4
+	}
+	switch mask {
+	case 1:
 		return meteredTopK{base}
-	case hasPair:
+	case 2:
 		return meteredPair{base}
+	case 3:
+		return meteredTopKPair{base}
+	case 4:
+		return meteredMulti{base}
+	case 5:
+		return meteredTopKMulti{base}
+	case 6:
+		return meteredPairMulti{base}
+	case 7:
+		return meteredTopKPairMulti{base}
 	default:
 		return base
 	}

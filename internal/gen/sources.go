@@ -1,0 +1,53 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/rng"
+)
+
+// ZipfSources draws k query sources from pool with a rank-based Zipf
+// skew: pool[i] is chosen with probability proportional to (i+1)^(-s),
+// so early pool entries dominate the sample the way a few hot nodes
+// dominate real query logs. Repeats are expected — they are the point:
+// the batched query pipeline and the query cache both exploit repeated
+// sources, and a uniform sampler would hide that. s = 0 degrades to
+// uniform sampling; s around 1–1.5 matches commonly reported query-log
+// skews. The draw is deterministic for a given (pool, k, s, seed).
+func ZipfSources(pool []graph.NodeID, k int, s float64, seed uint64) ([]graph.NodeID, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("gen: zipf sources need a non-empty pool")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("gen: zipf sources need k >= 0, got %d", k)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("gen: zipf exponent must be finite and >= 0, got %g", s)
+	}
+	// Cumulative rank weights for O(log n) inverse-CDF sampling, same
+	// technique as ChungLu's degree-weight table.
+	cum := make([]float64, len(pool))
+	acc := 0.0
+	for i := range pool {
+		acc += math.Pow(float64(i+1), -s)
+		cum[i] = acc
+	}
+	r := rng.New(seed)
+	out := make([]graph.NodeID, k)
+	for j := range out {
+		x := r.Float64() * acc
+		lo, hi := 0, len(pool)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[j] = pool[lo]
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"testing"
+
+	"crashsim/internal/graph"
+)
+
+func TestZipfSources(t *testing.T) {
+	pool := make([]graph.NodeID, 100)
+	for i := range pool {
+		pool[i] = graph.NodeID(i * 3) // sparse ids: results must come from the pool, not [0,n)
+	}
+
+	a, err := ZipfSources(pool, 500, 1.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ZipfSources(pool, 500, 1.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 500 {
+		t.Fatalf("got %d sources, want 500", len(a))
+	}
+	counts := map[graph.NodeID]int{}
+	for i, v := range a {
+		if v != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, v, b[i])
+		}
+		if v%3 != 0 || int(v) >= 300 {
+			t.Fatalf("sample %d not from the pool", v)
+		}
+		counts[v]++
+	}
+	// Rank-based skew: the head of the pool must dominate the tail.
+	head := counts[pool[0]] + counts[pool[1]] + counts[pool[2]]
+	tail := counts[pool[97]] + counts[pool[98]] + counts[pool[99]]
+	if head <= 5*tail {
+		t.Errorf("zipf skew too flat: head 3 ranks drew %d, tail 3 drew %d", head, tail)
+	}
+	if head < 100 {
+		t.Errorf("head 3 ranks drew only %d of 500 at s=1.3", head)
+	}
+
+	// A different seed gives a different draw.
+	c, err := ZipfSources(pool, 500, 1.3, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced an identical draw")
+	}
+
+	// s = 0 degrades to uniform: no rank should hog the sample.
+	u, err := ZipfSources(pool, 2000, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc := map[graph.NodeID]int{}
+	for _, v := range u {
+		uc[v]++
+	}
+	for v, n := range uc {
+		if n > 60 { // E = 20 per rank; 3x is far outside uniform noise
+			t.Errorf("uniform draw gave node %d %d of 2000 samples", v, n)
+		}
+	}
+
+	if got, err := ZipfSources(pool, 0, 1, 1); err != nil || len(got) != 0 {
+		t.Errorf("k=0: %v, %v", got, err)
+	}
+	if _, err := ZipfSources(nil, 5, 1, 1); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := ZipfSources(pool, -1, 1, 1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := ZipfSources(pool, 5, -0.5, 1); err == nil {
+		t.Error("negative exponent accepted")
+	}
+}

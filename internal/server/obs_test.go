@@ -103,6 +103,12 @@ func TestMetricsExposesTemporalCounters(t *testing.T) {
 		"core.pool.patch_misses",
 		"core.pool.temporal_hits",
 		"core.pool.temporal_misses",
+		"core.batch.batches",
+		"core.batch.sources",
+		"core.batch.dedup_hits",
+		"core.batch.items",
+		"core.pool.batch_hits",
+		"core.pool.batch_misses",
 	} {
 		if _, ok := counters[name]; !ok {
 			t.Errorf("counter %q missing from /metrics snapshot", name)

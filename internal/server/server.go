@@ -1,12 +1,13 @@
 // Package server exposes SimRank queries over HTTP with a small JSON
 // API, turning the library into a queryable service:
 //
-//	GET /health              -> {"status":"ok","algo":"crashsim","cache_hit_ratio":0.97}
-//	GET /stats               -> graph statistics
-//	GET /metrics             -> serving metrics (see handleMetrics)
-//	GET /singlesource?u=3&k=10
-//	GET /pair?u=3&v=17
-//	GET /topk?u=3&k=10
+//	GET  /health              -> {"status":"ok","algo":"crashsim","cache_hit_ratio":0.97}
+//	GET  /stats               -> graph statistics
+//	GET  /metrics             -> serving metrics (see handleMetrics)
+//	GET  /singlesource?u=3&k=10
+//	GET  /pair?u=3&v=17
+//	GET  /topk?u=3&k=10
+//	POST /batch/singlesource  {"sources":[3,17,3],"k":10}
 //
 // The server owns one immutable graph and one engine.Estimator built at
 // construction (index-based backends pay their build exactly once);
@@ -15,14 +16,23 @@
 // across requests. Every query runs under the request context plus a
 // configurable per-request timeout; an aborted estimate returns 503.
 //
-// Overload protection: the query endpoints run behind an admission
-// gate bounding concurrent in-flight estimates (Config.MaxInFlight).
-// When the bound is reached, further queries are rejected immediately
-// with 429 and a Retry-After header rather than queued — Monte-Carlo
-// estimates are CPU-bound, so queuing past the core count only grows
-// latency for everyone. /health, /stats and /metrics stay outside the
-// gate so load balancers and dashboards see a saturated server, not a
-// dead one.
+// The batch endpoint answers many single-source queries in one request
+// through engine.MultiSource, which on the crashsim backend runs the
+// whole batch through one compile-once, fan-out-once pipeline.
+// Responses carry per-item results and per-item errors: an out-of-range
+// source fails alone without failing its batch-mates.
+//
+// Overload protection: the query endpoints run behind a weighted
+// admission gate bounding concurrent in-flight work
+// (Config.MaxInFlight): a scalar query holds one unit, a batch holds
+// one unit per source — admitting a 64-source batch as if it were one
+// query would let a single request oversubscribe the whole budget.
+// When the budget is exhausted, further queries are rejected
+// immediately with 429 and a Retry-After header rather than queued —
+// Monte-Carlo estimates are CPU-bound, so queuing past the core count
+// only grows latency for everyone. /health, /stats and /metrics stay
+// outside the gate so load balancers and dashboards see a saturated
+// server, not a dead one.
 //
 // Result caching: with Config.CacheBytes set, query results are served
 // from a sharded LRU (internal/cache) keyed on backend, effective
@@ -81,10 +91,14 @@ type Config struct {
 	// DefaultTimeout; negative disables the per-request deadline (the
 	// request context still cancels on client disconnect).
 	Timeout time.Duration
-	// MaxInFlight bounds concurrent query estimates; excess requests
+	// MaxInFlight bounds concurrent in-flight query weight: a scalar
+	// query weighs 1, a batch weighs its source count. Excess requests
 	// get 429 with a Retry-After header. Zero means DefaultMaxInFlight;
 	// negative disables admission control.
 	MaxInFlight int
+	// MaxBatch caps the source count of one POST /batch/singlesource
+	// request; larger batches get 400. Default 128.
+	MaxBatch int
 	// CacheBytes bounds the query-result cache's accounted size; zero
 	// or negative disables caching. Sizing guidance: a single-source
 	// result costs ~48 bytes per non-zero-score node, so 64 MiB holds
@@ -121,7 +135,7 @@ type Server struct {
 	healthPrefix string
 
 	// Admission gate (nil when disabled) plus its observability.
-	sem      chan struct{}
+	gate     *gate
 	reg      *obs.Registry
 	inflight *obs.Gauge
 	served   *obs.Counter
@@ -155,6 +169,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxInFlight == 0 {
 		cfg.MaxInFlight = DefaultMaxInFlight()
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 128
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("server: bad MaxBatch %d", cfg.MaxBatch)
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.Default
@@ -198,7 +218,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.healthPrefix = `{"status":"ok","algo":"` + est.Name() + `"`
 	if cfg.MaxInFlight > 0 {
-		s.sem = make(chan struct{}, cfg.MaxInFlight)
+		s.gate = &gate{max: cfg.MaxInFlight}
 	}
 	s.mux.HandleFunc("GET /health", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -206,6 +226,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /singlesource", s.admit(s.handleSingleSource))
 	s.mux.HandleFunc("GET /pair", s.admit(s.handlePair))
 	s.mux.HandleFunc("GET /topk", s.admit(s.handleTopK))
+	s.mux.HandleFunc("POST /batch/singlesource", s.handleBatch)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -216,28 +237,71 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// admit is the admission-control middleware around the query
-// endpoints: it reserves an in-flight slot (or rejects with 429 when
+// gate is the weighted admission gate: every in-flight request holds
+// weight units of the MaxInFlight budget (1 for the scalar query
+// endpoints, the source count for a batch). A request is admitted when
+// it fits the remaining budget — or when the server is idle, so one
+// batch heavier than the entire budget still runs (alone) instead of
+// being permanently unservable.
+type gate struct {
+	mu  sync.Mutex
+	max int
+	cur int
+}
+
+func (g *gate) tryAcquire(w int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cur > 0 && g.cur+w > g.max {
+		return false
+	}
+	g.cur += w
+	return true
+}
+
+func (g *gate) release(w int) {
+	g.mu.Lock()
+	g.cur -= w
+	g.mu.Unlock()
+}
+
+// acquire reserves weight units of the admission budget, answering 429
+// with a Retry-After header when the server is saturated. On success it
+// ticks the served counter and the weighted inflight gauge; callers
+// must pair it with release.
+func (s *Server) acquire(w http.ResponseWriter, weight int) bool {
+	if s.gate != nil && !s.gate.tryAcquire(weight) {
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			"server saturated: weighted in-flight budget %d exhausted; retry shortly", s.gate.max)
+		return false
+	}
+	s.served.Inc()
+	s.inflight.Add(int64(weight))
+	return true
+}
+
+func (s *Server) release(weight int) {
+	s.inflight.Add(-int64(weight))
+	if s.gate != nil {
+		s.gate.release(weight)
+	}
+}
+
+// admit is the admission-control middleware around the scalar query
+// endpoints: it reserves one in-flight unit (or rejects with 429 when
 // the server is saturated) and records the end-to-end request latency
 // — parsing, estimation and JSON encoding — in server.latency, the
 // client's-eye complement of the engine's estimation-only histograms.
+// The batch endpoint runs the same machinery with its own weight (see
+// handleBatch).
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.sem != nil {
-			select {
-			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
-			default:
-				s.rejected.Inc()
-				w.Header().Set("Retry-After", "1")
-				writeErr(w, http.StatusTooManyRequests,
-					"server saturated: %d queries in flight; retry shortly", cap(s.sem))
-				return
-			}
+		if !s.acquire(w, 1) {
+			return
 		}
-		s.served.Inc()
-		s.inflight.Inc()
-		defer s.inflight.Dec()
+		defer s.release(1)
 		start := time.Now()
 		h(w, r)
 		s.latency.Since(start)
@@ -364,7 +428,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // the source-tree patch-vs-rebuild decision, core.temporal.frozen_reused
 // counts frozen-form carries across stable snapshots, and
 // core.temporal.candtree_hits / candtree_misses account the
-// candidate-tree cache).
+// candidate-tree cache). The batched multi-source pipeline reports as
+// core.batch.batches / sources / dedup_hits / items plus its arena
+// pool pair core.pool.batch_hits / batch_misses, and the engine layer
+// adds engine.<backend>.queries.multisource per batch.
 // With caching enabled the counters include cache.hits, cache.misses,
 // cache.coalesced, cache.evictions and cache.expired, the gauges
 // cache.bytes and cache.entries, and the top level carries a "cache"
@@ -479,6 +546,99 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "score": score})
+}
+
+// batchRequest is the POST /batch/singlesource body.
+type batchRequest struct {
+	Sources []int64 `json:"sources"`
+	// K bounds each item's result list; 0 means DefaultK, larger than
+	// MaxK clamps (the response reports the effective k).
+	K int `json:"k"`
+}
+
+// batchItem is one per-source entry of the batch response: either a
+// ranked result list or this source's own error, never both. Item
+// order matches the request's sources order.
+type batchItem struct {
+	Source  int64        `json:"source"`
+	Results []scoredNode `json:"results,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Sources) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch needs a non-empty sources list")
+		return
+	}
+	if len(req.Sources) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusBadRequest,
+			"batch of %d sources exceeds max %d; split the request", len(req.Sources), s.cfg.MaxBatch)
+		return
+	}
+	k := s.cfg.DefaultK
+	if req.K != 0 {
+		if req.K < 1 {
+			writeErr(w, http.StatusBadRequest, "bad k %d", req.K)
+			return
+		}
+		k = min(req.K, s.cfg.MaxK)
+	}
+
+	// One admission reservation for the whole batch, weighted by its
+	// source count: N batched sources cost the same budget as N scalar
+	// queries, so batching is a latency optimization, not a way around
+	// overload protection.
+	weight := len(req.Sources)
+	if !s.acquire(w, weight) {
+		return
+	}
+	defer s.release(weight)
+	start := time.Now()
+	defer func() { s.latency.Since(start) }()
+
+	// Per-item validation: an out-of-range source gets its own error
+	// entry; the valid remainder still runs as one batch.
+	n := s.cfg.Graph.NumNodes()
+	items := make([]batchItem, len(req.Sources))
+	valid := make([]graph.NodeID, 0, len(req.Sources))
+	for i, raw := range req.Sources {
+		items[i].Source = raw
+		if raw < 0 || raw >= int64(n) {
+			items[i].Error = fmt.Sprintf("node %d out of range [0,%d)", raw, n)
+			continue
+		}
+		valid = append(valid, graph.NodeID(raw))
+	}
+	if len(valid) > 0 {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		scores, err := engine.MultiSource(ctx, s.est, valid)
+		if err != nil {
+			writeQueryErr(w, err)
+			return
+		}
+		j := 0
+		for i := range items {
+			if items[i].Error != "" {
+				continue
+			}
+			sc := scores[j]
+			j++
+			u := graph.NodeID(items[i].Source)
+			top := metrics.TopK(sc, u, k)
+			out := make([]scoredNode, len(top))
+			for x, v := range top {
+				out[x] = scoredNode{Node: v, Score: sc[v]}
+			}
+			items[i].Results = out
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"k": k, "items": items})
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
