@@ -159,3 +159,15 @@ func BenchmarkMemory(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStore regenerates the index-persistence comparison (cold
+// index build vs warm snapshot load, internal/store) behind
+// BENCH_crashsim.json's store section.
+func BenchmarkStore(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Store(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

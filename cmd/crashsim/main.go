@@ -16,6 +16,19 @@
 //	crashsim -temporal as.tgraph -source 3 -query threshold -theta 0.05
 //	crashsim -temporal as.tgraph -source 3 -query trend -direction increasing
 //	crashsim -temporal as.tgraph -source 3 -query durable -topk 10
+//
+// Index persistence (sling and reads backends): -save-index builds the
+// index, snapshots graph + index to a file (internal/store format) and
+// answers the query; -load-index answers the query from a snapshot —
+// graph included, so no -graph/-profile is needed — after verifying
+// checksums and graph identity. -verify-index additionally rebuilds
+// the index from the snapshot's own graph and insists on bit-identical
+// single-source scores, exiting nonzero on any divergence (CI runs
+// this across build/load process boundaries to catch format drift):
+//
+//	crashsim -profile hepth -scale 0.05 -algo sling -save-index hepth.snap -source 3
+//	crashsim -algo sling -load-index hepth.snap -source 3
+//	crashsim -algo sling -load-index hepth.snap -verify-index
 package main
 
 import (
@@ -27,7 +40,9 @@ import (
 	"time"
 
 	"crashsim"
+	"crashsim/internal/engine"
 	"crashsim/internal/graph"
+	"crashsim/internal/store"
 )
 
 func main() {
@@ -53,6 +68,9 @@ func main() {
 		repeat       = flag.Int("repeat", 1, "run the static query this many times (with -cache-bytes, repeats hit the result cache)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "enable a query-result cache of this capacity for static queries (0 = off)")
 		cacheTTL     = flag.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = no age bound)")
+		saveIndex    = flag.String("save-index", "", "build the index (sling/reads) and write a graph+index snapshot to this file")
+		loadIndex    = flag.String("load-index", "", "answer from a graph+index snapshot instead of building (no -graph/-profile needed)")
+		verifyIndex  = flag.Bool("verify-index", false, "with -load-index: rebuild from the snapshot's graph and require bit-identical scores")
 	)
 	flag.Parse()
 
@@ -60,6 +78,9 @@ func main() {
 	cc := cacheConfig{bytes: *cacheBytes, ttl: *cacheTTL, repeat: *repeat}
 	var err error
 	switch {
+	case *saveIndex != "" || *loadIndex != "":
+		err = runIndexed(*graphFile, *profile, *scale, *source, *algo, *topk,
+			*saveIndex, *loadIndex, *verifyIndex, opt)
 	case *statsOnly:
 		err = runStats(*graphFile, *profile, *scale, opt.Seed)
 	case *temporalFile != "":
@@ -173,6 +194,168 @@ func runStatic(graphFile, profile string, scale float64, source int, algo string
 		}
 	}
 	return nil
+}
+
+// runIndexed is the index-persistence path for the sling and reads
+// backends: build + snapshot (-save-index), or answer from a snapshot
+// (-load-index), optionally proving the loaded index bit-identical to
+// a rebuild (-verify-index). When loading, the index parameters come
+// from the snapshot itself — the graph travels inside it, so the
+// command is self-contained.
+func runIndexed(graphFile, profile string, scale float64, source int, algo string, topk int,
+	save, load string, verify bool, opt crashsim.Options) error {
+	if algo != "sling" && algo != "reads" {
+		return fmt.Errorf("-save-index/-load-index need an index-based backend (sling or reads), got %q", algo)
+	}
+	if load != "" && save != "" {
+		return fmt.Errorf("-save-index and -load-index are mutually exclusive")
+	}
+	if verify && load == "" {
+		return fmt.Errorf("-verify-index needs -load-index")
+	}
+	ctx := context.Background()
+	ecfg := engine.Config{
+		C: opt.C, Eps: opt.Eps, Delta: opt.Delta,
+		Iterations: opt.Iterations, Workers: opt.Workers, Seed: opt.Seed,
+	}
+
+	var g *crashsim.Graph
+	if load != "" {
+		start := time.Now()
+		snap, err := store.Load(load)
+		if err != nil {
+			return err
+		}
+		g = snap.Graph
+		fmt.Printf("snapshot %s: graph n=%d m=%d version=%#x (loaded in %v)\n",
+			load, g.NumNodes(), g.NumEdges(), g.Version(), time.Since(start).Round(time.Microsecond))
+		importStart := time.Now()
+		switch algo {
+		case "sling":
+			ix, err := snap.ImportSling(g)
+			if err != nil {
+				return err
+			}
+			ecfg.SlingIndex = ix
+			o := ix.Options()
+			ecfg.C, ecfg.Eps, ecfg.Seed = o.C, o.Eps, o.Seed
+			ecfg.SlingDSamples = o.DSamples
+		case "reads":
+			ix, err := snap.ImportReads(g)
+			if err != nil {
+				return err
+			}
+			ecfg.ReadsIndex = ix
+			o := ix.Options()
+			ecfg.C, ecfg.Seed = o.C, o.Seed
+			ecfg.ReadsR, ecfg.ReadsRQ = o.R, o.RQ
+		}
+		fmt.Printf("imported %s index in %v\n", algo, time.Since(importStart).Round(time.Microsecond))
+		if err := verifyLoaded(ctx, verify, algo, g, snap, ecfg); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if g, err = loadStatic(graphFile, profile, scale, opt.Seed); err != nil {
+			return err
+		}
+		fmt.Printf("graph: n=%d m=%d directed=%t version=%#x\n", g.NumNodes(), g.NumEdges(), g.Directed(), g.Version())
+		snap := &store.Snapshot{
+			Graph: g,
+			Meta:  store.Meta{Dataset: datasetSpec(graphFile, profile, scale, opt.Seed), Tool: "crashsim", CreatedUnix: time.Now().Unix()},
+		}
+		buildStart := time.Now()
+		switch algo {
+		case "sling":
+			ix, err := engine.BuildSlingIndex(ctx, g, ecfg)
+			if err != nil {
+				return err
+			}
+			ecfg.SlingIndex = ix
+			p := ix.Export()
+			snap.Sling = &p
+		case "reads":
+			ix, err := engine.BuildReadsIndex(ctx, g, ecfg)
+			if err != nil {
+				return err
+			}
+			ecfg.ReadsIndex = ix
+			p := ix.Export()
+			snap.Reads = &p
+		}
+		fmt.Printf("built %s index in %v\n", algo, time.Since(buildStart).Round(time.Microsecond))
+		if err := store.Write(save, snap); err != nil {
+			return err
+		}
+		fmt.Printf("wrote snapshot %s\n", save)
+	}
+
+	est, err := engine.New(ctx, algo, g, ecfg)
+	if err != nil {
+		return err
+	}
+	u := crashsim.NodeID(source)
+	start := time.Now()
+	scores, err := est.SingleSource(ctx, u, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s single-source from node %d in %v\n", algo, source, time.Since(start).Round(time.Microsecond))
+	for rank, v := range crashsim.TopSimilar(scores, u, topk) {
+		fmt.Printf("%3d. node %-8d sim=%.5f\n", rank+1, v, scores[v])
+	}
+	return nil
+}
+
+// verifyLoaded rebuilds the index from the snapshot's own graph with
+// the snapshot's recorded parameters and insists every node's
+// single-source scores are bit-identical to the loaded index's — the
+// cross-process equivalence check CI runs against a snapshot built in
+// a separate step.
+func verifyLoaded(ctx context.Context, verify bool, algo string, g *crashsim.Graph, snap *store.Snapshot, ecfg engine.Config) error {
+	if !verify {
+		return nil
+	}
+	start := time.Now()
+	loaded, err := engine.New(ctx, algo, g, ecfg)
+	if err != nil {
+		return err
+	}
+	rcfg := ecfg
+	rcfg.SlingIndex, rcfg.ReadsIndex = nil, nil
+	rebuilt, err := engine.New(ctx, algo, g, rcfg)
+	if err != nil {
+		return fmt.Errorf("verify: rebuilding: %w", err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		want, err := rebuilt.SingleSource(ctx, crashsim.NodeID(u), nil)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		have, err := loaded.SingleSource(ctx, crashsim.NodeID(u), nil)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		if len(want) != len(have) {
+			return fmt.Errorf("verify FAILED: source %d: %d scores rebuilt vs %d loaded", u, len(want), len(have))
+		}
+		for v, s := range want {
+			if hs, ok := have[v]; !ok || hs != s {
+				return fmt.Errorf("verify FAILED: source %d node %d: rebuilt %v, loaded %v", u, v, s, hs)
+			}
+		}
+	}
+	fmt.Printf("verify: loaded %s index bit-identical to rebuild across %d sources (%v)\n",
+		algo, g.NumNodes(), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// datasetSpec names the dataset for snapshot metadata.
+func datasetSpec(graphFile, profile string, scale float64, seed uint64) string {
+	if graphFile != "" {
+		return graphFile
+	}
+	return fmt.Sprintf("%s@%g/%d", profile, scale, seed)
 }
 
 // runBatch answers one batched multi-source query: every listed source

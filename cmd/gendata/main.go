@@ -12,17 +12,28 @@
 //	gendata -model ba -nodes 1000 -k 4 -directed=false -o ba.txt
 //	gendata -model chunglu -nodes 1000 -edges 8000 -exponent 2.1 -o cl.txt
 //	gendata -model smallworld -nodes 1000 -k 3 -beta 0.1 -o sw.txt
+//
+// With -save-index, gendata additionally builds a SimRank index over
+// the generated static graph and writes a graph+index snapshot
+// (internal/store format) that simserver -index-dir and
+// crashsim -load-index consume:
+//
+//	gendata -profile hepth -scale 0.05 -save-index hepth.snap -index-algo sling
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"crashsim"
+	"crashsim/internal/engine"
 	"crashsim/internal/gen"
 	"crashsim/internal/graph"
+	"crashsim/internal/store"
 	"crashsim/internal/temporal"
 )
 
@@ -43,8 +54,14 @@ func main() {
 		active    = flag.Float64("active", 1.0, "fraction of transitions carrying churn")
 		seed      = flag.Uint64("seed", 42, "generator seed")
 		out       = flag.String("o", "", "output file (default stdout)")
+		saveIndex = flag.String("save-index", "",
+			"also build an index over the generated static graph and write a graph+index snapshot here")
+		indexAlgo = flag.String("index-algo", "sling", "index family for -save-index: sling or reads")
 	)
 	flag.Parse()
+	if *saveIndex != "" && *temporalF {
+		fatal(fmt.Errorf("-save-index applies to static output only"))
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -62,9 +79,9 @@ func main() {
 		err = fmt.Errorf("-profile and -model are mutually exclusive")
 	case *model != "":
 		err = runModel(w, *model, *nodes, *edges, *k, *beta, *exponent, *directed,
-			*temporalF, *snapshots, *churn, *active, *seed)
+			*temporalF, *snapshots, *churn, *active, *seed, *saveIndex, *indexAlgo)
 	case *profile != "":
-		err = runProfile(w, *profile, *scale, *temporalF, *snapshots, *seed)
+		err = runProfile(w, *profile, *scale, *temporalF, *snapshots, *seed, *saveIndex, *indexAlgo)
 	default:
 		err = fmt.Errorf("need -profile or -model")
 	}
@@ -78,7 +95,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runProfile(w io.Writer, profile string, scale float64, temporalOut bool, snapshots int, seed uint64) error {
+func runProfile(w io.Writer, profile string, scale float64, temporalOut bool, snapshots int, seed uint64, snapPath, indexAlgo string) error {
 	p, err := crashsim.Dataset(profile)
 	if err != nil {
 		return err
@@ -94,11 +111,56 @@ func runProfile(w io.Writer, profile string, scale float64, temporalOut bool, sn
 	if err != nil {
 		return err
 	}
-	return crashsim.SaveGraph(w, g)
+	if err := crashsim.SaveGraph(w, g); err != nil {
+		return err
+	}
+	return saveSnapshot(g, snapPath, indexAlgo, fmt.Sprintf("%s@%g/%d", profile, scale, seed), seed)
+}
+
+// saveSnapshot builds the requested index over g with the engine's
+// default parameters (and the generator seed) and writes a graph+index
+// snapshot — the artifact simserver -index-dir and crashsim -load-index
+// consume. A consumer wanting different index parameters rebuilds; the
+// snapshot records the ones used.
+func saveSnapshot(g *graph.Graph, path, algo, spec string, seed uint64) error {
+	if path == "" {
+		return nil
+	}
+	ecfg := engine.Config{Seed: seed}
+	snap := &store.Snapshot{
+		Graph: g,
+		Meta:  store.Meta{Dataset: spec, Tool: "gendata", CreatedUnix: time.Now().Unix()},
+	}
+	start := time.Now()
+	switch algo {
+	case "sling":
+		ix, err := engine.BuildSlingIndex(context.Background(), g, ecfg)
+		if err != nil {
+			return err
+		}
+		p := ix.Export()
+		snap.Sling = &p
+	case "reads":
+		ix, err := engine.BuildReadsIndex(context.Background(), g, ecfg)
+		if err != nil {
+			return err
+		}
+		p := ix.Export()
+		snap.Reads = &p
+	default:
+		return fmt.Errorf("unknown -index-algo %q (want sling or reads)", algo)
+	}
+	fmt.Fprintf(os.Stderr, "gendata: built %s index in %v\n", algo, time.Since(start).Round(time.Millisecond))
+	if err := store.Write(path, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gendata: wrote snapshot %s\n", path)
+	return nil
 }
 
 func runModel(w io.Writer, model string, nodes, edges, k int, beta, exponent float64,
-	directed, temporalOut bool, snapshots int, churn, active float64, seed uint64) error {
+	directed, temporalOut bool, snapshots int, churn, active float64, seed uint64,
+	snapPath, indexAlgo string) error {
 	var (
 		es  []graph.Edge
 		err error
@@ -139,5 +201,8 @@ func runModel(w io.Writer, model string, nodes, edges, k int, beta, exponent flo
 	if err != nil {
 		return err
 	}
-	return graph.WriteEdgeList(w, g)
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		return err
+	}
+	return saveSnapshot(g, snapPath, indexAlgo, fmt.Sprintf("%s/n%d/%d", model, nodes, seed), seed)
 }

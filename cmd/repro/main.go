@@ -6,12 +6,21 @@
 //	repro [flags] [experiment ...]
 //
 // Experiments: table2, table3, example2, fig5, fig6, fig7, ablation,
-// extra, scaling, memory, kernel, throughput, all (default: all). Flags tune scale
-// and budgets; the defaults finish in a few minutes. EXPERIMENTS.md
-// records committed results with the exact flags used.
+// extra, scaling, memory, kernel, throughput, store, all (default:
+// all). Flags tune scale and budgets; the defaults finish in a few
+// minutes. EXPERIMENTS.md records committed results with the exact
+// flags used.
+//
+// -kernel-json names the machine-readable comparison file
+// (BENCH_crashsim.json): the kernel experiment writes the static,
+// temporal and batch sections, the store experiment merges its
+// cold-vs-warm section into the same file, and each writer preserves
+// the sections it does not own.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +69,7 @@ func main() {
 func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJSON string) error {
 	switch name {
 	case "all":
-		for _, e := range []string{"table2", "table3", "example2", "fig5", "fig6", "fig7", "ablation", "extra", "scaling", "memory", "kernel"} {
+		for _, e := range []string{"table2", "table3", "example2", "fig5", "fig6", "fig7", "ablation", "extra", "scaling", "memory", "kernel", "store"} {
 			// "kernel" covers the throughput section too; no separate entry.
 			if err := run(e, cfg, print, kernelJSON); err != nil {
 				return err
@@ -83,15 +92,14 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJ
 		}
 		cmp.Batch = bcmp
 		if kernelJSON != "" {
-			f, err := os.Create(kernelJSON)
+			old, err := readComparison(kernelJSON)
 			if err != nil {
 				return err
 			}
-			if err := cmp.WriteJSON(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			// Regenerating the kernel sections keeps a previously
+			// recorded store section; "store" owns that one.
+			cmp.Store = old.Store
+			if err := writeComparison(kernelJSON, cmp); err != nil {
 				return err
 			}
 		}
@@ -117,6 +125,24 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJ
 				return err
 			}
 			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return print(rep)
+	case "store":
+		scmp, rep, err := bench.Store(cfg)
+		if err != nil {
+			return err
+		}
+		if kernelJSON != "" {
+			// Merge into the existing comparison file so regenerating
+			// the store section alone keeps the kernel rows.
+			old, err := readComparison(kernelJSON)
+			if err != nil {
+				return err
+			}
+			old.Store = scmp
+			if err := writeComparison(kernelJSON, old); err != nil {
 				return err
 			}
 		}
@@ -189,6 +215,38 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, kernelJ
 		}
 		return print(rep)
 	default:
-		return fmt.Errorf("unknown experiment %q (want table2, table3, example2, fig5, fig6, fig7, ablation, extra, scaling, memory, kernel, throughput, all)", name)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, example2, fig5, fig6, fig7, ablation, extra, scaling, memory, kernel, throughput, store, all)", name)
 	}
+}
+
+// readComparison loads an existing machine-readable comparison file so
+// an experiment can merge its section without dropping the others. A
+// missing file is an empty comparison; a file that exists but does not
+// parse is an error — silently overwriting it would destroy sections
+// someone measured.
+func readComparison(path string) (*bench.KernelComparison, error) {
+	cmp := &bench.KernelComparison{}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return cmp, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, cmp); err != nil {
+		return nil, fmt.Errorf("existing %s does not parse (%v); move it aside to regenerate", path, err)
+	}
+	return cmp, nil
+}
+
+func writeComparison(path string, cmp *bench.KernelComparison) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := cmp.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

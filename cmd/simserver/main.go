@@ -27,6 +27,16 @@
 // -cache-ttl adds an optional hard age bound on top of the
 // graph-version invalidation. /health reports the live hit ratio,
 // /stats and /metrics the full cache counters.
+//
+// With -index-dir set and an index-based backend (sling, reads), the
+// server restarts warm: it looks for a snapshot of the dataset's index
+// in that directory (internal/store format) and loads it instead of
+// rebuilding, after verifying checksums and that the snapshot's graph
+// version matches the dataset actually loaded. On a miss — no file, a
+// corrupt file, a version or parameter mismatch — it rebuilds as usual
+// and writes the snapshot through for the next restart. A loaded index
+// is bit-identical to a rebuilt one (enforced by tests and
+// crashsim -verify-index), so warm restarts change startup time only.
 package main
 
 import (
@@ -45,7 +55,10 @@ import (
 	"crashsim"
 	"crashsim/internal/core"
 	"crashsim/internal/engine"
+	"crashsim/internal/reads"
 	"crashsim/internal/server"
+	"crashsim/internal/sling"
+	"crashsim/internal/store"
 )
 
 func main() {
@@ -68,7 +81,9 @@ func main() {
 			"query-result cache capacity in bytes (0 disables caching)")
 		cacheTTL = flag.Duration("cache-ttl", 0,
 			"query-result cache entry lifetime (0 = no age bound; graph-version keying already prevents stale results)")
-		pprofOn = flag.Bool("pprof", false, "mount /debug/pprof/ (trusted ports only)")
+		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/ (trusted ports only)")
+		indexDir = flag.String("index-dir", "",
+			"index snapshot directory: load the dataset's index from a snapshot instead of rebuilding, write one through after a rebuild (sling/reads backends)")
 	)
 	flag.Parse()
 
@@ -77,7 +92,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
 		os.Exit(1)
 	}
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Graph:       g,
 		Algo:        *algo,
 		Params:      core.Params{C: *c, Eps: *eps, Iterations: *iters, Seed: *seed},
@@ -87,7 +102,15 @@ func main() {
 		CacheBytes:  *cacheBytes,
 		CacheTTL:    *cacheTTL,
 		EnablePprof: *pprofOn,
-	})
+	}
+	if *indexDir != "" {
+		spec := datasetSpec(*graphFile, *profile, *scale, *seed)
+		if err := setupIndex(&scfg, g, *indexDir, spec); err != nil {
+			fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
 		os.Exit(1)
@@ -138,6 +161,90 @@ func cacheDesc(bytes int64, ttl time.Duration) string {
 		return fmt.Sprintf("%s, ttl %v", d, ttl)
 	}
 	return d + ", no ttl (graph-version invalidation only)"
+}
+
+// datasetSpec names the dataset for snapshot identity: the edge-list
+// path, or the generator coordinates. The spec picks the snapshot
+// file; the graph's content version inside it is what actually gets
+// verified.
+func datasetSpec(graphFile, profile string, scale float64, seed uint64) string {
+	if graphFile != "" {
+		return graphFile
+	}
+	return fmt.Sprintf("%s@%g/%d", profile, scale, seed)
+}
+
+// setupIndex implements the warm-restart path for index-based
+// backends: load the dataset's snapshot from dir if present and valid,
+// otherwise build the index now and write the snapshot through — in
+// both cases handing the prebuilt index to the server via Config, so
+// server.New never builds twice.
+func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string) error {
+	if scfg.Algo != "sling" && scfg.Algo != "reads" {
+		log.Printf("index-dir: backend %q builds no persistent index; ignoring", scfg.Algo)
+		return nil
+	}
+	ecfg := engine.Config{
+		C: scfg.Params.C, Eps: scfg.Params.Eps, Delta: scfg.Params.Delta,
+		Iterations: scfg.Params.Iterations, Workers: scfg.Params.Workers,
+		Seed: scfg.Params.Seed,
+	}
+	path := store.SnapshotPath(dir, spec, scfg.Algo)
+	if snap, err := store.Load(path); err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("index snapshot %s unusable (%v); rebuilding", path, err)
+		}
+	} else if snap.Graph.Version() != g.Version() {
+		log.Printf("index snapshot %s was built for graph %#x, dataset is %#x; rebuilding",
+			path, snap.Graph.Version(), g.Version())
+	} else {
+		start := time.Now()
+		switch scfg.Algo {
+		case "sling":
+			scfg.SlingIndex, err = snap.ImportSling(g)
+		case "reads":
+			scfg.ReadsIndex, err = snap.ImportReads(g)
+		}
+		if err != nil {
+			log.Printf("index snapshot %s rejected (%v); rebuilding", path, err)
+		} else {
+			log.Printf("warm restart: loaded %s index from %s in %v", scfg.Algo, path, time.Since(start).Round(time.Millisecond))
+			return nil
+		}
+	}
+	start := time.Now()
+	snap := &store.Snapshot{
+		Graph: g,
+		Meta:  store.Meta{Dataset: spec, Tool: "simserver", CreatedUnix: time.Now().Unix()},
+	}
+	var err error
+	switch scfg.Algo {
+	case "sling":
+		var ix *sling.Index
+		if ix, err = engine.BuildSlingIndex(context.Background(), g, ecfg); err == nil {
+			scfg.SlingIndex = ix
+			p := ix.Export()
+			snap.Sling = &p
+		}
+	case "reads":
+		var ix *reads.Index
+		if ix, err = engine.BuildReadsIndex(context.Background(), g, ecfg); err == nil {
+			scfg.ReadsIndex = ix
+			p := ix.Export()
+			snap.Reads = &p
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("building %s index: %w", scfg.Algo, err)
+	}
+	log.Printf("built %s index in %v", scfg.Algo, time.Since(start).Round(time.Millisecond))
+	if err := store.Write(path, snap); err != nil {
+		// A failed write-through costs the next restart, not this one.
+		log.Printf("index snapshot write-through failed: %v", err)
+	} else {
+		log.Printf("wrote index snapshot %s for the next restart", path)
+	}
+	return nil
 }
 
 func load(graphFile, profile string, scale float64, seed uint64) (*crashsim.Graph, error) {

@@ -330,3 +330,40 @@ func TestConfigDefaults(t *testing.T) {
 		t.Errorf("crashIters floor = %d, want 20", got)
 	}
 }
+
+func TestStoreQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run skipped in -short mode")
+	}
+	cmp, rep, err := Store(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * 2; len(cmp.Results) != want { // 5 datasets × {sling, reads}
+		t.Fatalf("store produced %d rows, want %d", len(cmp.Results), want)
+	}
+	for _, r := range cmp.Results {
+		if r.Algo != "sling" && r.Algo != "reads" {
+			t.Errorf("%s: unexpected algo %q", r.Dataset, r.Algo)
+		}
+		if r.BuildMS <= 0 || r.SaveMS <= 0 || r.LoadMS <= 0 || r.Bytes <= 0 {
+			t.Errorf("%s/%s: non-positive measurement %+v", r.Dataset, r.Algo, r)
+		}
+	}
+	if cmp.GeoMeanSpeedup <= 0 || math.IsNaN(cmp.GeoMeanSpeedup) {
+		t.Errorf("geomean speedup = %g", cmp.GeoMeanSpeedup)
+	}
+	if len(rep.Rows) != len(cmp.Results) {
+		t.Error("report row count mismatch")
+	}
+	// The store section rides inside KernelComparison as "store".
+	var buf bytes.Buffer
+	if err := (&KernelComparison{Store: cmp}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"store"`, `"build_ms"`, `"load_ms"`, `"geomean_speedup"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing %s", key)
+		}
+	}
+}

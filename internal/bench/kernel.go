@@ -44,6 +44,9 @@ type KernelComparison struct {
 	// Batch is the multi-source throughput section (Throughput); nil
 	// when the throughput experiment did not run.
 	Batch *ThroughputComparison `json:"batch,omitempty"`
+	// Store is the index-snapshot cold-build vs warm-load section
+	// (Store); nil when the store experiment did not run.
+	Store *StoreComparison `json:"store,omitempty"`
 }
 
 // WriteJSON renders the comparison as indented JSON.

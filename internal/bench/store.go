@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"time"
+
+	"crashsim/internal/engine"
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+	"crashsim/internal/rng"
+	"crashsim/internal/store"
+)
+
+// StoreResult is one (dataset, index family) row of the snapshot
+// cold-vs-warm comparison: the time to build the index from scratch
+// (what every restart used to pay) against the time to load it back
+// from an internal/store snapshot (what a warm restart pays now), plus
+// the one-time save cost and the snapshot size. The loaded index is
+// verified bit-identical to the built one before the row is trusted,
+// so the two columns answer the same queries.
+type StoreResult struct {
+	Dataset string `json:"dataset"`
+	Algo    string `json:"algo"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	// BuildMS is the cold path: index construction over the graph
+	// (best of buildTimingReps repetitions).
+	BuildMS float64 `json:"build_ms"`
+	// SaveMS is the write-through: encode + checksum + atomic write
+	// (best of storeTimingReps repetitions).
+	SaveMS float64 `json:"save_ms"`
+	// LoadMS is the warm path: read + verify checksums + decode +
+	// import (best of storeTimingReps repetitions).
+	LoadMS float64 `json:"load_ms"`
+	// Bytes is the snapshot file size (graph + meta + index sections).
+	Bytes int64 `json:"bytes"`
+	// Speedup is BuildMS / LoadMS: how much faster a warm restart
+	// brings this index online.
+	Speedup float64 `json:"speedup"`
+}
+
+// StoreComparison is the machine-readable "store" section of
+// BENCH_crashsim.json (see KernelComparison.Store).
+type StoreComparison struct {
+	Config         string        `json:"config"`
+	Results        []StoreResult `json:"results"`
+	GeoMeanSpeedup float64       `json:"geomean_speedup"`
+}
+
+// storeTimingReps is how many times each save and load is repeated;
+// buildTimingReps how many times each index build is. The fastest
+// repetition is kept, as in the kernel comparison: all phases are
+// deterministic, so repetitions differ only by machine noise and the
+// minimum is the cleanest estimate. Builds dominate the runtime, so
+// they get fewer repetitions.
+const (
+	storeTimingReps = 3
+	buildTimingReps = 2
+)
+
+// Store measures index persistence (internal/store) on every default
+// synthetic profile for both index families: build the index the way a
+// cold start does, write the snapshot through, load it back the way a
+// warm restart does, and verify the loaded index is bit-identical to
+// the built one (exported payloads and single-source scores) before
+// reporting the row. Builds run single-threaded, like every measured
+// algorithm in the harness.
+func Store(cfg Config) (*StoreComparison, *Report, error) {
+	cfg = cfg.WithDefaults()
+	dir, err := os.MkdirTemp("", "crashsim-store-bench-")
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	cmp := &StoreComparison{
+		Config: fmt.Sprintf("scale=%.3g sources=%d eps=%g c=%.2g dsamples=%d r=%d rq=%d seed=%d",
+			cfg.Scale, cfg.Sources, cfg.Eps, cfg.C, cfg.SlingDSamples, cfg.ReadsR, cfg.ReadsRQ, cfg.Seed),
+	}
+	for _, prof := range gen.Profiles() {
+		p := prof.Scaled(cfg.Scale)
+		seed := rng.SeedString(fmt.Sprintf("store/%s/%d", p.Name, cfg.Seed))
+		g, err := p.Static(seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: generating %s: %w", p.Name, err)
+		}
+		ecfg := engine.Config{
+			C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta, Workers: 1, Seed: seed,
+			SlingDSamples: cfg.SlingDSamples, ReadsR: cfg.ReadsR, ReadsRQ: cfg.ReadsRQ,
+		}
+		sources := cfg.sources("store/"+p.Name, g, cfg.Sources)
+		for _, algo := range []string{"sling", "reads"} {
+			r, err := storeRound(g, p.Name, algo, dir, ecfg, sources)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: %s/%s: %w", p.Name, algo, err)
+			}
+			cmp.Results = append(cmp.Results, r)
+		}
+	}
+
+	logSum := 0.0
+	for _, r := range cmp.Results {
+		logSum += math.Log(r.Speedup)
+	}
+	cmp.GeoMeanSpeedup = math.Exp(logSum / float64(len(cmp.Results)))
+
+	rep := &Report{
+		Title:   "Index snapshot store: cold build vs warm load (internal/store)",
+		Notes:   []string{cmp.Config, "loaded indexes verified bit-identical to built ones before timing is trusted"},
+		Columns: []string{"dataset", "algo", "n", "m", "build-ms", "save-ms", "load-ms", "KiB", "speedup"},
+	}
+	for _, r := range cmp.Results {
+		rep.AddRow(r.Dataset, r.Algo, fmt.Sprint(r.Nodes), fmt.Sprint(r.Edges),
+			fmt.Sprintf("%.1f", r.BuildMS), fmt.Sprintf("%.1f", r.SaveMS),
+			fmt.Sprintf("%.1f", r.LoadMS), fmt.Sprintf("%.0f", float64(r.Bytes)/1024),
+			fmt.Sprintf("%.1fx", r.Speedup))
+	}
+	rep.Footer = append(rep.Footer, fmt.Sprintf("geomean warm-restart speedup: %.1fx", cmp.GeoMeanSpeedup))
+	return cmp, rep, nil
+}
+
+// storeRound runs one (graph, algo) build → save → load → verify cycle
+// and returns its timings.
+func storeRound(g *graph.Graph, dataset, algo, dir string, ecfg engine.Config, sources []int32) (StoreResult, error) {
+	ctx := context.Background()
+	snap := &store.Snapshot{
+		Graph: g,
+		Meta:  store.Meta{Dataset: dataset, Tool: "bench", CreatedUnix: time.Now().Unix()},
+	}
+
+	// Builds are deterministic, so every repetition produces the same
+	// index; the last one doubles as the verification reference (via
+	// the engine's preload path).
+	builtCfg := ecfg
+	buildSec := math.Inf(1)
+	for rep := 0; rep < buildTimingReps; rep++ {
+		start := time.Now()
+		switch algo {
+		case "sling":
+			ix, err := engine.BuildSlingIndex(ctx, g, ecfg)
+			if err != nil {
+				return StoreResult{}, err
+			}
+			p := ix.Export()
+			snap.Sling = &p
+			builtCfg.SlingIndex = ix
+		case "reads":
+			ix, err := engine.BuildReadsIndex(ctx, g, ecfg)
+			if err != nil {
+				return StoreResult{}, err
+			}
+			p := ix.Export()
+			snap.Reads = &p
+			builtCfg.ReadsIndex = ix
+		default:
+			return StoreResult{}, fmt.Errorf("unknown index algo %q", algo)
+		}
+		buildSec = math.Min(buildSec, time.Since(start).Seconds())
+	}
+
+	path := store.SnapshotPath(dir, dataset, algo)
+	saveSec := math.Inf(1)
+	for rep := 0; rep < storeTimingReps; rep++ {
+		start := time.Now()
+		if err := store.Write(path, snap); err != nil {
+			return StoreResult{}, err
+		}
+		saveSec = math.Min(saveSec, time.Since(start).Seconds())
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return StoreResult{}, err
+	}
+
+	loadSec := math.Inf(1)
+	var loaded *store.Snapshot
+	for rep := 0; rep < storeTimingReps; rep++ {
+		start := time.Now()
+		loaded, err = store.Load(path)
+		if err != nil {
+			return StoreResult{}, err
+		}
+		lcfg := ecfg
+		switch algo {
+		case "sling":
+			lcfg.SlingIndex, err = loaded.ImportSling(loaded.Graph)
+		case "reads":
+			lcfg.ReadsIndex, err = loaded.ImportReads(loaded.Graph)
+		}
+		if err != nil {
+			return StoreResult{}, err
+		}
+		loadSec = math.Min(loadSec, time.Since(start).Seconds())
+		if rep == storeTimingReps-1 {
+			if err := verifyLoadedIndex(g, algo, builtCfg, lcfg, loaded.Graph, sources); err != nil {
+				return StoreResult{}, err
+			}
+		}
+	}
+
+	return StoreResult{
+		Dataset: dataset, Algo: algo,
+		Nodes: g.NumNodes(), Edges: g.NumEdges(),
+		BuildMS: buildSec * 1e3,
+		SaveMS:  saveSec * 1e3,
+		LoadMS:  loadSec * 1e3,
+		Bytes:   fi.Size(),
+		Speedup: buildSec / loadSec,
+	}, nil
+}
+
+// verifyLoadedIndex fails unless the snapshot round trip preserved the
+// index exactly: the estimator over the loaded index must answer every
+// benchmark source bit-for-bit like the one over the index it was
+// saved from.
+func verifyLoadedIndex(g *graph.Graph, algo string, built, preload engine.Config, loadedG *graph.Graph, sources []int32) error {
+	ctx := context.Background()
+	if loadedG.Version() != g.Version() {
+		return fmt.Errorf("snapshot graph version %#x != generated %#x", loadedG.Version(), g.Version())
+	}
+	want, err := engine.New(ctx, algo, g, built)
+	if err != nil {
+		return err
+	}
+	got, err := engine.New(ctx, algo, loadedG, preload)
+	if err != nil {
+		return fmt.Errorf("loaded index rejected: %w", err)
+	}
+	for _, u := range sources {
+		ws, err := want.SingleSource(ctx, graph.NodeID(u), nil)
+		if err != nil {
+			return err
+		}
+		gs, err := got.SingleSource(ctx, graph.NodeID(u), nil)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(ws, gs) {
+			return fmt.Errorf("loaded %s index diverges from rebuild at source %d", algo, u)
+		}
+	}
+	return nil
+}

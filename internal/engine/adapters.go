@@ -76,21 +76,77 @@ func (e *probeSim) SingleSource(ctx context.Context, u graph.NodeID, omega []gra
 	return restrict(core.Scores(s), omega, e.g.NumNodes())
 }
 
-// slingEstimator adapts the SLING index; New pays the full index build.
+// SlingOptions maps a Config to the SLING build options the sling
+// backend uses, so snapshot writers build exactly the index New would.
+func (cfg Config) SlingOptions() sling.Options {
+	return sling.Options{
+		C: cfg.C, Eps: cfg.Eps, DSamples: cfg.SlingDSamples,
+		Workers: cfg.Workers, Seed: cfg.Seed,
+	}
+}
+
+// ReadsOptions maps a Config to the READS build options the reads
+// backend uses.
+func (cfg Config) ReadsOptions() reads.Options {
+	return reads.Options{
+		C: cfg.C, R: cfg.ReadsR, RQ: cfg.ReadsRQ,
+		Workers: cfg.Workers, Seed: cfg.Seed,
+	}
+}
+
+// BuildSlingIndex builds the SLING index the sling backend would build
+// over g for cfg — the write-through path for snapshot persistence
+// (internal/store) without duplicating the option mapping.
+func BuildSlingIndex(ctx context.Context, g *graph.Graph, cfg Config) (*sling.Index, error) {
+	return sling.BuildCtx(ctx, g, cfg.SlingOptions())
+}
+
+// BuildReadsIndex builds the READS index the reads backend would build
+// over g for cfg.
+func BuildReadsIndex(ctx context.Context, g *graph.Graph, cfg Config) (*reads.Index, error) {
+	d := graph.NewDiGraph(g.NumNodes(), g.Directed())
+	for _, e := range g.Edges() {
+		if err := d.AddEdge(e.X, e.Y); err != nil {
+			return nil, fmt.Errorf("copying graph: %w", err)
+		}
+	}
+	ix, err := reads.BuildCtx(ctx, d, cfg.ReadsOptions())
+	if err != nil {
+		return nil, err
+	}
+	ix.BindSourceVersion(g.Version())
+	return ix, nil
+}
+
+// slingEstimator adapts the SLING index; New pays the full index build
+// unless Config carries a compatible preloaded one.
 type slingEstimator struct {
 	g  *graph.Graph
 	ix *sling.Index
 }
 
 func newSLING(ctx context.Context, g *graph.Graph, cfg Config) (Estimator, error) {
-	ix, err := sling.BuildCtx(ctx, g, sling.Options{
-		C: cfg.C, Eps: cfg.Eps, DSamples: cfg.SlingDSamples,
-		Workers: cfg.Workers, Seed: cfg.Seed,
-	})
+	if ix := cfg.SlingIndex; ix != nil {
+		if v := ix.Graph().Version(); v != g.Version() {
+			return nil, fmt.Errorf("preloaded sling index built on graph %#x, serving graph is %#x", v, g.Version())
+		}
+		if want, have := cfg.SlingOptions().WithDefaults(), ix.Options(); !slingOptionsEqual(want, have) {
+			return nil, fmt.Errorf("preloaded sling index built with %+v, config asks for %+v", have, want)
+		}
+		return &slingEstimator{g: g, ix: ix}, nil
+	}
+	ix, err := sling.BuildCtx(ctx, g, cfg.SlingOptions())
 	if err != nil {
 		return nil, err
 	}
 	return &slingEstimator{g: g, ix: ix}, nil
+}
+
+// slingOptionsEqual compares build-relevant options; Workers is a
+// runtime knob with no effect on the built index.
+func slingOptionsEqual(a, b sling.Options) bool {
+	a.Workers, b.Workers = 0, 0
+	return a == b
 }
 
 func (e *slingEstimator) Name() string { return "sling" }
@@ -104,26 +160,35 @@ func (e *slingEstimator) SingleSource(ctx context.Context, u graph.NodeID, omega
 }
 
 // readsEstimator adapts the READS index over a private mutable copy of
-// the served graph; New pays the full index build.
+// the served graph; New pays the full index build unless Config carries
+// a compatible preloaded one.
 type readsEstimator struct {
 	g  *graph.Graph
 	ix *reads.Index
 }
 
 func newREADS(ctx context.Context, g *graph.Graph, cfg Config) (Estimator, error) {
-	d := graph.NewDiGraph(g.NumNodes(), g.Directed())
-	for _, e := range g.Edges() {
-		if err := d.AddEdge(e.X, e.Y); err != nil {
-			return nil, fmt.Errorf("copying graph: %w", err)
+	if ix := cfg.ReadsIndex; ix != nil {
+		if v := ix.SourceVersion(); v != g.Version() {
+			return nil, fmt.Errorf("preloaded reads index built on graph %#x, serving graph is %#x", v, g.Version())
 		}
+		if want, have := cfg.ReadsOptions().WithDefaults(), ix.Options(); !readsOptionsEqual(want, have) {
+			return nil, fmt.Errorf("preloaded reads index built with %+v, config asks for %+v", have, want)
+		}
+		return &readsEstimator{g: g, ix: ix}, nil
 	}
-	ix, err := reads.BuildCtx(ctx, d, reads.Options{
-		C: cfg.C, R: cfg.ReadsR, RQ: cfg.ReadsRQ, Seed: cfg.Seed,
-	})
+	ix, err := BuildReadsIndex(ctx, g, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &readsEstimator{g: g, ix: ix}, nil
+}
+
+// readsOptionsEqual compares build-relevant options; Workers is a
+// runtime knob with no effect on the built index.
+func readsOptionsEqual(a, b reads.Options) bool {
+	a.Workers, b.Workers = 0, 0
+	return a == b
 }
 
 func (e *readsEstimator) Name() string { return "reads" }

@@ -22,6 +22,8 @@ import (
 	"crashsim/internal/core"
 	"crashsim/internal/graph"
 	"crashsim/internal/obs"
+	"crashsim/internal/reads"
+	"crashsim/internal/sling"
 )
 
 // Estimator answers SimRank queries against one fixed graph with fixed
@@ -91,6 +93,16 @@ type Config struct {
 	// ExactMaxNodes is the Power Method's all-pairs memory guard
 	// (default 8192; -1 disables).
 	ExactMaxNodes int
+
+	// SlingIndex, if non-nil, is a prebuilt SLING index (typically
+	// loaded from a snapshot, see internal/store) that the sling backend
+	// uses instead of paying a build. New refuses the index unless it
+	// was built on the serving graph (matched by graph version) with the
+	// build options this Config implies — a preloaded index must be
+	// indistinguishable from a freshly built one.
+	SlingIndex *sling.Index
+	// ReadsIndex is the READS equivalent of SlingIndex.
+	ReadsIndex *reads.Index
 
 	// Metrics selects the registry receiving this estimator's
 	// per-backend query counts, error/cancellation counts and latency

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/obs"
+	"crashsim/internal/store"
+)
+
+func preloadGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	const n = 20
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+		if j := (i*5 + 2) % n; j != i {
+			b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func preloadConfig() Config {
+	return Config{Seed: 11, SlingDSamples: 16, ReadsR: 8, ReadsRQ: 2, Metrics: obs.NewRegistry()}
+}
+
+// TestPreloadedIndexBitIdentical is the end-to-end restart equivalence
+// guarantee: for every index-persisting backend, an estimator over an
+// index that went through the full snapshot round trip (export, encode,
+// decode, import) answers every SingleSource query bit-identically to
+// an estimator that just built the index.
+func TestPreloadedIndexBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	g := preloadGraph(t)
+	cfg := preloadConfig()
+
+	slIx, err := BuildSlingIndex(ctx, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdIx, err := BuildReadsIndex(ctx, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slP, rdP := slIx.Export(), rdIx.Export()
+	data, err := store.Encode(&store.Snapshot{Graph: g, Sling: &slP, Reads: &rdP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preCfg := cfg
+	if preCfg.SlingIndex, err = snap.ImportSling(g); err != nil {
+		t.Fatal(err)
+	}
+	if preCfg.ReadsIndex, err = snap.ImportReads(g); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"sling", "reads"} {
+		built, err := New(ctx, name, g, cfg)
+		if err != nil {
+			t.Fatalf("%s: building fresh: %v", name, err)
+		}
+		loaded, err := New(ctx, name, g, preCfg)
+		if err != nil {
+			t.Fatalf("%s: constructing from preloaded index: %v", name, err)
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			want, err := built.SingleSource(ctx, graph.NodeID(u), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			have, err := loaded.SingleSource(ctx, graph.NodeID(u), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, have) {
+				t.Fatalf("%s: SingleSource(%d) differs between built and loaded index", name, u)
+			}
+		}
+	}
+}
+
+func TestPreloadRefusesWrongGraph(t *testing.T) {
+	ctx := context.Background()
+	g := preloadGraph(t)
+	other := graph.NewBuilder(20, true).AddEdge(0, 1).AddEdge(1, 2).MustFreeze()
+	cfg := preloadConfig()
+
+	var err error
+	if cfg.SlingIndex, err = BuildSlingIndex(ctx, other, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ReadsIndex, err = BuildReadsIndex(ctx, other, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sling", "reads"} {
+		if _, err := New(ctx, name, g, cfg); err == nil ||
+			!strings.Contains(err.Error(), "serving graph") {
+			t.Fatalf("%s: New accepted an index built on another graph (err=%v)", name, err)
+		}
+	}
+}
+
+func TestPreloadRefusesWrongOptions(t *testing.T) {
+	ctx := context.Background()
+	g := preloadGraph(t)
+	cfg := preloadConfig()
+
+	var err error
+	if cfg.SlingIndex, err = BuildSlingIndex(ctx, g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ReadsIndex, err = BuildReadsIndex(ctx, g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	mismatched := cfg
+	mismatched.Seed = 999
+	for _, name := range []string{"sling", "reads"} {
+		if _, err := New(ctx, name, g, mismatched); err == nil ||
+			!strings.Contains(err.Error(), "config asks for") {
+			t.Fatalf("%s: New accepted an index with mismatched options (err=%v)", name, err)
+		}
+	}
+	// Workers is a runtime knob: changing it must NOT invalidate an index.
+	workers := cfg
+	workers.Workers = 7
+	for _, name := range []string{"sling", "reads"} {
+		if _, err := New(ctx, name, g, workers); err != nil {
+			t.Fatalf("%s: Workers change invalidated a preloaded index: %v", name, err)
+		}
+	}
+}

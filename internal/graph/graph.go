@@ -11,7 +11,9 @@
 package graph
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 )
 
@@ -44,9 +46,50 @@ func (g *Graph) NumNodes() int { return g.n }
 // Graphs frozen from a DiGraph carry its Generation, so two freezes of
 // an evolving graph get equal versions exactly when no edge changed in
 // between — the invalidation signal the serving layer's result cache
-// keys on. Builder-frozen graphs report 0: they never change, so any
-// constant is a correct version.
+// keys on. Builder-frozen graphs carry a content-derived version (a hash
+// of the CSR arrays, marked with the high bit so the two version
+// families never collide): two distinct builder graphs sharing a cache
+// get distinct versions, the same edge list hashes identically across
+// runs and processes, and a persisted snapshot can verify on load that
+// its recorded version still describes its arrays.
 func (g *Graph) Version() uint64 { return g.version }
+
+// contentVersionBit marks content-derived versions. DiGraph generations
+// are small counters; forcing the bit keeps the two version families
+// disjoint, so a builder-frozen graph can never alias a DiGraph freeze
+// in a shared cache.
+const contentVersionBit = uint64(1) << 63
+
+// VersionIsContentDerived reports whether v is a content-derived version
+// (a Builder-frozen graph's CSR hash) as opposed to a DiGraph
+// generation. The persistent-store loader uses it to decide whether a
+// snapshot's recorded version can be recomputed and verified.
+func VersionIsContentDerived(v uint64) bool { return v&contentVersionBit != 0 }
+
+// contentVersion hashes the graph identity: node count, direction and
+// the in-CSR arrays (the out-CSR is derivable from the in-CSR, so
+// hashing one side identifies the edge set). FNV-1a over the raw
+// little-endian words, deterministic across runs and platforms.
+func contentVersion(n int, directed bool, inOff []int32, inAdj []NodeID) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+	d := byte(0)
+	if directed {
+		d = 1
+	}
+	h.Write([]byte{d})
+	for _, v := range inOff {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+		h.Write(buf[:4])
+	}
+	for _, v := range inAdj {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+		h.Write(buf[:4])
+	}
+	return h.Sum64() | contentVersionBit
+}
 
 // NumEdges returns the number of directed arcs for directed graphs, or the
 // number of undirected edges for undirected graphs.
@@ -79,6 +122,14 @@ func (g *Graph) InCSR() (offsets []int32, adj []NodeID) {
 // with the graph and must not be modified.
 func (g *Graph) Out(v NodeID) []NodeID {
 	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+}
+
+// OutCSR exposes the raw out-adjacency CSR arrays, the forward-direction
+// counterpart of InCSR. Both slices share the graph's storage and must
+// be treated as read-only. The persistent index store serializes these
+// arrays directly.
+func (g *Graph) OutCSR() (offsets []int32, adj []NodeID) {
+	return g.outOff, g.outAdj
 }
 
 // InDegree returns |I(v)|.
@@ -191,7 +242,11 @@ func (b *Builder) AddEdges(edges []Edge) *Builder {
 	return b
 }
 
-// Freeze validates the accumulated edges and builds the CSR graph.
+// Freeze validates the accumulated edges and builds the CSR graph. The
+// graph's Version is content-derived: a hash of the CSR arrays, so two
+// builder graphs get equal versions exactly when their (n, direction,
+// edge set) agree — the identity the serving caches and the persistent
+// index store key on.
 func (b *Builder) Freeze() (*Graph, error) {
 	arcs := make([]Edge, 0, len(b.edges)*2)
 	seen := make(map[Edge]struct{}, len(b.edges))
@@ -215,7 +270,9 @@ func (b *Builder) Freeze() (*Graph, error) {
 			arcs = append(arcs, Edge{X: e.Y, Y: e.X})
 		}
 	}
-	return fromArcs(b.n, b.directed, arcs), nil
+	g := fromArcs(b.n, b.directed, arcs)
+	g.version = contentVersion(g.n, g.directed, g.inOff, g.inAdj)
+	return g, nil
 }
 
 // MustFreeze is Freeze for statically known-good graphs (tests, examples).
@@ -263,4 +320,30 @@ func fromArcs(n int, directed bool, arcs []Edge) *Graph {
 
 func sortNodeIDs(s []NodeID) {
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// FromCSR reconstructs an immutable Graph from raw CSR arrays, as read
+// back by the persistent index store. The arrays are adopted, not
+// copied — the caller must not modify them afterwards. The input is
+// treated as untrusted: the full CSR invariants are validated, and a
+// content-derived version is recomputed from the arrays and must match
+// the recorded one (a DiGraph-generation version cannot be recomputed
+// and is adopted as-is; the store's section checksums guard it).
+func FromCSR(n int, directed bool, version uint64, inOff []int32, inAdj []NodeID, outOff []int32, outAdj []NodeID) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	g := &Graph{
+		n: n, directed: directed, version: version,
+		inOff: inOff, inAdj: inAdj, outOff: outOff, outAdj: outAdj,
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if VersionIsContentDerived(version) {
+		if got := contentVersion(n, directed, inOff, inAdj); got != version {
+			return nil, fmt.Errorf("graph: recorded content version %#x does not match arrays (recomputed %#x)", version, got)
+		}
+	}
+	return g, nil
 }

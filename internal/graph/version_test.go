@@ -98,9 +98,76 @@ func TestFreezeStampsVersion(t *testing.T) {
 	}
 }
 
-func TestBuilderGraphVersionZero(t *testing.T) {
-	g := NewBuilder(3, true).AddEdge(0, 1).MustFreeze()
-	if g.Version() != 0 {
-		t.Fatalf("builder-frozen version = %d, want 0", g.Version())
+// Builder-frozen graphs used to report Version() == 0, which was only
+// sound while a graph could never outlive its process: two different
+// builder graphs sharing one result cache collided on version 0, and a
+// persisted snapshot had no identity to verify against. The version is
+// now content-derived.
+
+func TestBuilderContentVersionDistinct(t *testing.T) {
+	a := NewBuilder(3, true).AddEdge(0, 1).MustFreeze()
+	b := NewBuilder(3, true).AddEdge(1, 2).MustFreeze()
+	if a.Version() == 0 || b.Version() == 0 {
+		t.Fatalf("builder-frozen versions must not be 0 (got %#x, %#x)", a.Version(), b.Version())
+	}
+	if a.Version() == b.Version() {
+		t.Fatalf("distinct builder graphs share version %#x", a.Version())
+	}
+	// Same n, same direction, different edge direction only.
+	c := NewBuilder(3, true).AddEdge(1, 0).MustFreeze()
+	if c.Version() == a.Version() {
+		t.Fatalf("reversed edge shares version %#x", a.Version())
+	}
+}
+
+func TestBuilderContentVersionStable(t *testing.T) {
+	build := func() *Graph {
+		return NewBuilder(4, true).AddEdge(2, 3).AddEdge(0, 1).AddEdge(1, 2).MustFreeze()
+	}
+	a, b := build(), build()
+	if a.Version() != b.Version() {
+		t.Fatalf("same edge list froze to different versions: %#x vs %#x", a.Version(), b.Version())
+	}
+	// Insertion order must not matter: the CSR form is canonical.
+	c := NewBuilder(4, true).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).MustFreeze()
+	if c.Version() != a.Version() {
+		t.Fatalf("edge insertion order changed version: %#x vs %#x", c.Version(), a.Version())
+	}
+}
+
+func TestVersionFamiliesDisjoint(t *testing.T) {
+	b := NewBuilder(3, true).AddEdge(0, 1).MustFreeze()
+	if !VersionIsContentDerived(b.Version()) {
+		t.Fatalf("builder version %#x not marked content-derived", b.Version())
+	}
+	d := NewDiGraph(3, true)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g := d.Freeze(); VersionIsContentDerived(g.Version()) {
+		t.Fatalf("DiGraph-frozen version %#x claims to be content-derived", g.Version())
+	}
+}
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	g := NewBuilder(4, true).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).AddEdge(0, 3).MustFreeze()
+	inOff, inAdj := g.InCSR()
+	outOff, outAdj := g.OutCSR()
+	got, err := FromCSR(g.NumNodes(), g.Directed(), g.Version(), inOff, inAdj, outOff, outAdj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != g.Version() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round-trip mismatch: version %#x vs %#x, edges %d vs %d",
+			got.Version(), g.Version(), got.NumEdges(), g.NumEdges())
+	}
+	// A content-derived version that does not describe the arrays must be
+	// rejected: that is the loader's graph-identity check.
+	if _, err := FromCSR(g.NumNodes(), g.Directed(), g.Version()^1, inOff, inAdj, outOff, outAdj); err == nil {
+		t.Fatal("FromCSR accepted a forged content version")
+	}
+	// A generation version (no marker bit) is adopted as-is.
+	if got, err := FromCSR(g.NumNodes(), g.Directed(), 7, inOff, inAdj, outOff, outAdj); err != nil || got.Version() != 7 {
+		t.Fatalf("FromCSR with generation version: got %v, %v", got, err)
 	}
 }

@@ -101,6 +101,9 @@ type Index struct {
 	walks [][][]graph.NodeID          // walks[k][v] = k-th stored walk of v
 	inv   []map[posKey][]graph.NodeID // per sample: (step,node) -> origins
 	sc    float64
+	// srcVersion is the frozen graph version an imported index was
+	// bound to (see serde.go); 0 for directly built indexes.
+	srcVersion uint64
 }
 
 // Build generates the r walks per node on a private copy of g's current

@@ -1,0 +1,142 @@
+package reads
+
+import (
+	"fmt"
+	"math"
+
+	"crashsim/internal/graph"
+)
+
+// Serialization support for the persistent index store (internal/store).
+//
+// The index's persistable state is the r stored walks per node plus the
+// build options; the inverted occurrence index is a deterministic
+// function of the walks (BuildCtx assembles it in (sample, node) order),
+// so Import rebuilds it with the same code path and a loaded index
+// answers queries bit-identically to the index it was exported from.
+// The index's private mutable graph is reconstructed from the immutable
+// graph the caller passes, which the store layer has already matched to
+// the index by graph version.
+
+// Payload is the flat, serialization-shaped view of an Index: walk
+// lengths in (sample, origin) order and the concatenated walk nodes,
+// plus the build options.
+type Payload struct {
+	// Opt is the defaulted build configuration. Workers is a runtime
+	// knob with no effect on the built index and is not preserved.
+	Opt Options
+	// WalkLens holds R·n lengths: WalkLens[k·n+v] is the length
+	// (including the origin) of the k-th stored walk of node v.
+	WalkLens []int32
+	// Nodes concatenates every walk's positions in the same order.
+	Nodes []graph.NodeID
+}
+
+// Export returns the index's persistable state. The returned slices are
+// freshly allocated and do not alias the index.
+func (ix *Index) Export() Payload {
+	n := ix.g.NumNodes()
+	p := Payload{
+		Opt:      ix.opt,
+		WalkLens: make([]int32, 0, ix.opt.R*n),
+		Nodes:    make([]graph.NodeID, 0, ix.Positions()),
+	}
+	p.Opt.Workers = 0
+	for k := 0; k < ix.opt.R; k++ {
+		for v := 0; v < n; v++ {
+			w := ix.walks[k][v]
+			p.WalkLens = append(p.WalkLens, int32(len(w)))
+			p.Nodes = append(p.Nodes, w...)
+		}
+	}
+	return p
+}
+
+// Import reconstructs an Index over g from an exported payload. The
+// payload is treated as untrusted: lengths and node ids are
+// range-checked and every walk must start at its origin. The inverted
+// occurrence index is rebuilt in the same deterministic (sample, node)
+// order as BuildCtx, so queries against the imported index are
+// bit-identical to the exported one. g must be the graph the index was
+// built on; the store layer enforces that identity by graph version.
+func Import(g *graph.Graph, p Payload) (*Index, error) {
+	o := p.Opt.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("reads: import: %w", err)
+	}
+	n := g.NumNodes()
+	if len(p.WalkLens) != o.R*n {
+		return nil, fmt.Errorf("reads: import: %d walk lengths, want r·n = %d·%d", len(p.WalkLens), o.R, n)
+	}
+	d := graph.NewDiGraph(n, g.Directed())
+	for _, e := range g.Edges() {
+		if err := d.AddEdge(e.X, e.Y); err != nil {
+			return nil, fmt.Errorf("reads: import: copying graph: %w", err)
+		}
+	}
+	ix := &Index{
+		opt:        o,
+		g:          d,
+		walks:      make([][][]graph.NodeID, o.R),
+		inv:        make([]map[posKey][]graph.NodeID, o.R),
+		sc:         math.Sqrt(o.C),
+		srcVersion: g.Version(),
+	}
+	off := 0
+	for k := 0; k < o.R; k++ {
+		ix.walks[k] = make([][]graph.NodeID, n)
+		ix.inv[k] = make(map[posKey][]graph.NodeID, n)
+		for v := 0; v < n; v++ {
+			l := int(p.WalkLens[k*n+v])
+			if l < 1 || l > o.MaxLen+1 {
+				return nil, fmt.Errorf("reads: import: walk (%d,%d) has length %d outside [1,%d]", k, v, l, o.MaxLen+1)
+			}
+			if off+l > len(p.Nodes) {
+				return nil, fmt.Errorf("reads: import: walk nodes truncated at walk (%d,%d)", k, v)
+			}
+			w := append([]graph.NodeID(nil), p.Nodes[off:off+l]...)
+			off += l
+			if w[0] != graph.NodeID(v) {
+				return nil, fmt.Errorf("reads: import: walk (%d,%d) starts at %d, not its origin", k, v, w[0])
+			}
+			for _, x := range w {
+				if x < 0 || int(x) >= n {
+					return nil, fmt.Errorf("reads: import: walk (%d,%d) visits out-of-range node %d", k, v, x)
+				}
+			}
+			ix.walks[k][v] = w
+		}
+	}
+	if off != len(p.Nodes) {
+		return nil, fmt.Errorf("reads: import: %d trailing walk nodes", len(p.Nodes)-off)
+	}
+	// Rebuild the inverted index exactly as BuildCtx does: sample-major,
+	// node order within a sample — occurrence lists come out identical.
+	for k := 0; k < o.R; k++ {
+		for v := 0; v < n; v++ {
+			ix.indexWalk(k, graph.NodeID(v))
+		}
+	}
+	return ix, nil
+}
+
+// Options returns the defaulted build configuration of the index, so a
+// consumer holding a preloaded index can verify it matches the
+// parameters it was about to build with.
+func (ix *Index) Options() Options { return ix.opt }
+
+// WithDefaults returns o with every zero field replaced by its
+// documented default — the form Build actually uses and Options
+// reports, so two configurations can be compared for build equivalence.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
+// SourceVersion is the Version() of the frozen graph an imported index
+// was bound to, or 0 for an index built directly on a DiGraph (which
+// has no frozen identity). Consumers attaching a preloaded index to a
+// frozen graph use it to refuse a graph the index was not built on.
+func (ix *Index) SourceVersion() uint64 { return ix.srcVersion }
+
+// BindSourceVersion records the frozen graph version ix derives from,
+// for builders that construct the walk DiGraph from a frozen graph
+// themselves (Import does this automatically).
+func (ix *Index) BindSourceVersion(v uint64) { ix.srcVersion = v }

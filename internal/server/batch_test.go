@@ -146,8 +146,8 @@ func TestBatchAdmissionWeighted(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Error("429 without Retry-After header")
 	}
-	if got := reg.Counter("server.rejected").Load(); got != 1 {
-		t.Errorf("server.rejected = %d, want 1", got)
+	if got := reg.Counter("server.rejected").Load(); got != 2 {
+		t.Errorf("server.rejected = %d, want 2 (the rejected batch's weight)", got)
 	}
 	// Health and metrics stay outside the gate.
 	if rec, _ := get(t, s, "/health"); rec.Code != http.StatusOK {
@@ -168,8 +168,9 @@ func TestBatchAdmissionWeighted(t *testing.T) {
 	}
 }
 
-// TestBatchMetrics: one batch ticks server.queries once (it is one
-// request) and the engine's per-source and per-batch counters.
+// TestBatchMetrics: server.queries accounts by admission weight — a
+// 3-source batch counts 3, the same units the gate charges — and the
+// engine ticks its per-source and per-batch counters.
 func TestBatchMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	s, err := New(Config{
@@ -183,8 +184,8 @@ func TestBatchMetrics(t *testing.T) {
 	if rec, body := post(t, s, "/batch/singlesource", `{"sources":[0,3,5]}`); rec.Code != http.StatusOK {
 		t.Fatalf("batch: %d %v", rec.Code, body)
 	}
-	if got := reg.Counter("server.queries").Load(); got != 1 {
-		t.Errorf("server.queries = %d, want 1", got)
+	if got := reg.Counter("server.queries").Load(); got != 3 {
+		t.Errorf("server.queries = %d, want 3 (batch weight, matching admission)", got)
 	}
 	if got := reg.Counter("engine.crashsim.queries").Load(); got != 3 {
 		t.Errorf("engine.crashsim.queries = %d, want 3 (one per batched source)", got)

@@ -62,6 +62,8 @@ import (
 	"crashsim/internal/graph"
 	"crashsim/internal/metrics"
 	"crashsim/internal/obs"
+	"crashsim/internal/reads"
+	"crashsim/internal/sling"
 )
 
 // DefaultTimeout is the per-request estimation budget when
@@ -119,6 +121,12 @@ type Config struct {
 	// counters (walks, pool traffic, prune rates) so /metrics shows
 	// the whole serving stack in one snapshot.
 	Metrics *obs.Registry
+	// SlingIndex / ReadsIndex optionally hand the matching index-based
+	// backend a preloaded index (from an internal/store snapshot)
+	// instead of paying the build in New; see engine.Config. Ignored by
+	// other backends.
+	SlingIndex *sling.Index
+	ReadsIndex *reads.Index
 }
 
 // Server is an http.Handler answering SimRank queries.
@@ -133,6 +141,14 @@ type Server struct {
 	// appends into a pooled buffer rather than a JSON encode.
 	qcache       *cache.Cache
 	healthPrefix string
+
+	// stats is the graph's statistics, computed exactly once in New —
+	// the graph is immutable, so recomputing the O(n+m) sweep per
+	// /stats request (as this handler once did) bought nothing and let
+	// an un-gated endpoint burn CPU. statsComputed counts the sweeps
+	// (it must read 1 forever; a regression test pins it).
+	stats         graph.Stats
+	statsComputed *obs.Counter
 
 	// Admission gate (nil when disabled) plus its observability.
 	gate     *gate
@@ -183,6 +199,7 @@ func New(cfg Config) (*Server, error) {
 		C: cfg.Params.C, Eps: cfg.Params.Eps, Delta: cfg.Params.Delta,
 		Iterations: cfg.Params.Iterations, Workers: cfg.Params.Workers,
 		Seed: cfg.Params.Seed, Metrics: cfg.Metrics,
+		SlingIndex: cfg.SlingIndex, ReadsIndex: cfg.ReadsIndex,
 	}
 	est, err := engine.New(context.Background(), cfg.Algo, cfg.Graph, ecfg)
 	if err != nil {
@@ -209,13 +226,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg: cfg, est: est, mux: http.NewServeMux(), start: time.Now(),
-		qcache:   qc,
-		reg:      cfg.Metrics,
-		inflight: cfg.Metrics.Gauge("server.inflight"),
-		served:   cfg.Metrics.Counter("server.queries"),
-		rejected: cfg.Metrics.Counter("server.rejected"),
-		latency:  cfg.Metrics.Histogram("server.latency"),
+		qcache:        qc,
+		reg:           cfg.Metrics,
+		inflight:      cfg.Metrics.Gauge("server.inflight"),
+		served:        cfg.Metrics.Counter("server.queries"),
+		rejected:      cfg.Metrics.Counter("server.rejected"),
+		latency:       cfg.Metrics.Histogram("server.latency"),
+		statsComputed: cfg.Metrics.Counter("server.stats_computed"),
 	}
+	s.stats = graph.ComputeStats(cfg.Graph)
+	s.statsComputed.Inc()
 	s.healthPrefix = `{"status":"ok","algo":"` + est.Name() + `"`
 	if cfg.MaxInFlight > 0 {
 		s.gate = &gate{max: cfg.MaxInFlight}
@@ -266,18 +286,23 @@ func (g *gate) release(w int) {
 }
 
 // acquire reserves weight units of the admission budget, answering 429
-// with a Retry-After header when the server is saturated. On success it
-// ticks the served counter and the weighted inflight gauge; callers
-// must pair it with release.
+// with a Retry-After header when the server is saturated. Served and
+// rejected counters account by weight, matching what admission charges:
+// a weight-N batch moves both the budget and the counters by N, so
+// served + rejected is the total query volume whether clients batch or
+// not (a weight-1-per-batch accounting would make the counters
+// unreconcilable with the inflight gauge and undercount batched load).
+// On success it also moves the weighted inflight gauge; callers must
+// pair it with release.
 func (s *Server) acquire(w http.ResponseWriter, weight int) bool {
 	if s.gate != nil && !s.gate.tryAcquire(weight) {
-		s.rejected.Inc()
+		s.rejected.Add(uint64(weight))
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests,
 			"server saturated: weighted in-flight budget %d exhausted; retry shortly", s.gate.max)
 		return false
 	}
-	s.served.Inc()
+	s.served.Add(uint64(weight))
 	s.inflight.Add(int64(weight))
 	return true
 }
@@ -384,8 +409,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	healthBufPool.Put(bp)
 }
 
+// handleStats serves the statistics computed once in New — the graph
+// is immutable, so no request ever re-walks it. Only the cache block is
+// live.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := graph.ComputeStats(s.cfg.Graph)
+	st := s.stats
 	body := map[string]any{
 		"nodes":        st.Nodes,
 		"edges":        st.Edges,
@@ -411,6 +439,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 //	  "uptime_seconds": 12.3,
 //	  "max_inflight": 16,
 //	  "counters":   {"server.queries": 42, "engine.crashsim.queries": 42, "core.walks": 1234567, ...},
+//
+// server.queries and server.rejected count admitted (resp. rejected)
+// query weight, not HTTP requests: a scalar query adds 1, an N-source
+// batch adds N — the same units the admission gate charges, so
+// served + rejected reconciles with total query volume regardless of
+// batching. server.stats_computed counts graph-statistics sweeps and
+// stays at 1 for the server's lifetime (/stats serves a cached
+// struct). An example continued:
+//
 //	  "gauges":     {"server.inflight": 1, ...},
 //	  "histograms": {"engine.crashsim.latency": {"count": 42, "sum_seconds": 1.9,
 //	                  "buckets": [{"le": 0.0001, "count": 0}, ...], "overflow": 0}, ...}
@@ -565,9 +602,28 @@ type batchItem struct {
 	Error   string       `json:"error,omitempty"`
 }
 
+// maxBatchBody bounds the batch request body: generous headroom per
+// allowed source (a 19-digit id plus JSON punctuation is under 24
+// bytes) plus a fixed allowance for the envelope. Anything larger
+// cannot be a valid batch, so it is rejected before the decoder
+// buffers it.
+func (s *Server) maxBatchBody() int64 {
+	return int64(s.cfg.MaxBatch)*32 + 4096
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// Bound the body before decoding: MaxBatch alone cannot protect the
+	// decoder, which would otherwise buffer an arbitrarily large body
+	// just to count its sources.
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBatchBody())
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusBadRequest,
+				"batch body exceeds %d bytes; split the request", tooLarge.Limit)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "bad batch body: %v", err)
 		return
 	}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/reads"
+	"crashsim/internal/sling"
+)
+
+// dec is a bounds-checked little-endian reader over one section's
+// verified payload. Array reads check the remaining byte count before
+// allocating, so a hostile length field cannot force a huge allocation.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: reading %s at offset %d", ErrTruncated, what, d.off)
+	}
+}
+
+func (d *dec) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail(what)
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *dec) u8(what string) uint8 {
+	s := d.take(1, what)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (d *dec) u32(what string) uint32 {
+	s := d.take(4, what)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (d *dec) u64(what string) uint64 {
+	s := d.take(8, what)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (d *dec) f64(what string) float64 { return math.Float64frombits(d.u64(what)) }
+
+func (d *dec) arrayLen(width int, what string) int {
+	n := d.u64(what)
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)-d.off)/uint64(width) {
+		d.fail(what)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) i32s(what string) []int32 {
+	n := d.arrayLen(4, what)
+	if d.err != nil {
+		return nil
+	}
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(binary.LittleEndian.Uint32(d.b[d.off:]))
+		d.off += 4
+	}
+	return vs
+}
+
+func (d *dec) nodes(what string) []graph.NodeID {
+	n := d.arrayLen(4, what)
+	if d.err != nil {
+		return nil
+	}
+	vs := make([]graph.NodeID, n)
+	for i := range vs {
+		vs[i] = graph.NodeID(binary.LittleEndian.Uint32(d.b[d.off:]))
+		d.off += 4
+	}
+	return vs
+}
+
+func (d *dec) f64s(what string) []float64 {
+	n := d.arrayLen(8, what)
+	if d.err != nil {
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+		d.off += 8
+	}
+	return vs
+}
+
+func (d *dec) done(sec string) error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("store: section %q has %d trailing bytes", sec, len(d.b)-d.off)
+	}
+	return nil
+}
+
+func decodeGraph(payload []byte, version uint64) (*graph.Graph, error) {
+	d := &dec{b: payload}
+	n := d.u64("graph node count")
+	directed := d.u8("graph directedness") != 0
+	inOff := d.i32s("graph in-offsets")
+	inAdj := d.nodes("graph in-adjacency")
+	outOff := d.i32s("graph out-offsets")
+	outAdj := d.nodes("graph out-adjacency")
+	if err := d.done(SecGraph); err != nil {
+		return nil, err
+	}
+	if n > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("store: graph section claims %d nodes", n)
+	}
+	// FromCSR validates CSR well-formedness and, for content-derived
+	// versions, recomputes the hash — a snapshot cannot claim a graph
+	// identity its bytes do not hash to.
+	g, err := graph.FromCSR(int(n), directed, version, inOff, inAdj, outOff, outAdj)
+	if err != nil {
+		return nil, fmt.Errorf("store: graph section: %w", err)
+	}
+	return g, nil
+}
+
+func decodeSling(payload []byte, graphVersion uint64) (*sling.Payload, error) {
+	d := &dec{b: payload}
+	gv := d.u64("sling graph version")
+	var p sling.Payload
+	p.Opt.C = d.f64("sling C")
+	p.Opt.Eps = d.f64("sling Eps")
+	p.Opt.Lmax = int(d.u32("sling Lmax"))
+	p.Opt.Prune = d.f64("sling Prune")
+	p.Opt.DSamples = int(d.u32("sling DSamples"))
+	p.Opt.Seed = d.u64("sling Seed")
+	p.DistCounts = d.i32s("sling dist counts")
+	p.Steps = d.i32s("sling steps")
+	p.Nodes = d.nodes("sling nodes")
+	p.Probs = d.f64s("sling probs")
+	p.D = d.f64s("sling d values")
+	if err := d.done(SecSling); err != nil {
+		return nil, err
+	}
+	if gv != graphVersion {
+		return nil, fmt.Errorf("%w: sling section built for graph %#x, snapshot graph is %#x",
+			ErrVersionMismatch, gv, graphVersion)
+	}
+	return &p, nil
+}
+
+func decodeReads(payload []byte, graphVersion uint64) (*reads.Payload, error) {
+	d := &dec{b: payload}
+	gv := d.u64("reads graph version")
+	var p reads.Payload
+	p.Opt.C = d.f64("reads C")
+	p.Opt.R = int(d.u32("reads R"))
+	p.Opt.MaxLen = int(d.u32("reads MaxLen"))
+	p.Opt.RQ = int(d.u32("reads RQ"))
+	p.Opt.Seed = d.u64("reads Seed")
+	p.WalkLens = d.i32s("reads walk lengths")
+	p.Nodes = d.nodes("reads walk nodes")
+	if err := d.done(SecReads); err != nil {
+		return nil, err
+	}
+	if gv != graphVersion {
+		return nil, fmt.Errorf("%w: reads section built for graph %#x, snapshot graph is %#x",
+			ErrVersionMismatch, gv, graphVersion)
+	}
+	return &p, nil
+}
+
+// Decode parses and fully verifies a snapshot image: magic, format
+// version, section-table bounds, and every section's CRC are checked
+// before any payload is decoded, and each decoded section is validated
+// semantically. On any failure the snapshot is unusable and the typed
+// error says why; Decode never returns a partially trusted snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d-byte file is smaller than the header", ErrTruncated, len(data))
+	}
+	if string(data[:8]) != Magic {
+		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, string(data[:8]))
+	}
+	format := binary.LittleEndian.Uint32(data[8:12])
+	if format != FormatVersion {
+		return nil, fmt.Errorf("%w: file is v%d, this build reads v%d", ErrFormatVersion, format, FormatVersion)
+	}
+	graphVersion := binary.LittleEndian.Uint64(data[12:20])
+	count := binary.LittleEndian.Uint32(data[20:24])
+	tableEnd := headerSize + int(count)*sectionHeaderSize
+	if int(count) > (len(data)-headerSize)/sectionHeaderSize {
+		return nil, fmt.Errorf("%w: section table (%d entries) exceeds file", ErrTruncated, count)
+	}
+
+	payloads := make(map[string][]byte, count)
+	for i := 0; i < int(count); i++ {
+		entry := data[headerSize+i*sectionHeaderSize:]
+		name := string(bytes.TrimRight(entry[:8], "\x00"))
+		off := binary.LittleEndian.Uint64(entry[8:16])
+		length := binary.LittleEndian.Uint64(entry[16:24])
+		sum := binary.LittleEndian.Uint32(entry[24:28])
+		if off < uint64(tableEnd) || off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("%w: section %q spans [%d, %d) in a %d-byte file",
+				ErrTruncated, name, off, off+length, len(data))
+		}
+		payload := data[off : off+length]
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, fmt.Errorf("%w: section %q crc %08x, recorded %08x", ErrChecksum, name, got, sum)
+		}
+		payloads[name] = payload
+	}
+
+	gp, ok := payloads[SecGraph]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrMissingSection, SecGraph)
+	}
+	g, err := decodeGraph(gp, graphVersion)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{Graph: g}
+	if mp, ok := payloads[SecMeta]; ok {
+		if err := json.Unmarshal(mp, &s.Meta); err != nil {
+			return nil, fmt.Errorf("store: meta section: %w", err)
+		}
+	}
+	if sp, ok := payloads[SecSling]; ok {
+		if s.Sling, err = decodeSling(sp, graphVersion); err != nil {
+			return nil, err
+		}
+	}
+	if rp, ok := payloads[SecReads]; ok {
+		if s.Reads, err = decodeReads(rp, graphVersion); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Load reads and verifies the snapshot at path.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

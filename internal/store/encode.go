@@ -1,0 +1,195 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/reads"
+	"crashsim/internal/sling"
+)
+
+// sectionHeaderSize is the on-disk size of one section-table entry:
+// name [8]byte + offset u64 + length u64 + crc u32.
+const sectionHeaderSize = 8 + 8 + 8 + 4
+
+// headerSize is the fixed prefix before the section table: magic +
+// format version + graph version + section count.
+const headerSize = 8 + 4 + 8 + 4
+
+type enc struct{ buf bytes.Buffer }
+
+func (e *enc) u8(v uint8) { e.buf.WriteByte(v) }
+
+func (e *enc) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.buf.Write(b[:])
+}
+
+func (e *enc) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf.Write(b[:])
+}
+
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *enc) i32s(vs []int32) {
+	e.u64(uint64(len(vs)))
+	var b [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		e.buf.Write(b[:])
+	}
+}
+
+func (e *enc) nodes(vs []graph.NodeID) {
+	e.u64(uint64(len(vs)))
+	var b [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		e.buf.Write(b[:])
+	}
+}
+
+func (e *enc) f64s(vs []float64) {
+	e.u64(uint64(len(vs)))
+	var b [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		e.buf.Write(b[:])
+	}
+}
+
+func encodeGraph(g *graph.Graph) []byte {
+	inOff, inAdj := g.InCSR()
+	outOff, outAdj := g.OutCSR()
+	var e enc
+	e.u64(uint64(g.NumNodes()))
+	if g.Directed() {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.i32s(inOff)
+	e.nodes(inAdj)
+	e.i32s(outOff)
+	e.nodes(outAdj)
+	return e.buf.Bytes()
+}
+
+func encodeSling(graphVersion uint64, p *sling.Payload) []byte {
+	var e enc
+	e.u64(graphVersion)
+	e.f64(p.Opt.C)
+	e.f64(p.Opt.Eps)
+	e.u32(uint32(p.Opt.Lmax))
+	e.f64(p.Opt.Prune)
+	e.u32(uint32(p.Opt.DSamples))
+	e.u64(p.Opt.Seed)
+	e.i32s(p.DistCounts)
+	e.i32s(p.Steps)
+	e.nodes(p.Nodes)
+	e.f64s(p.Probs)
+	e.f64s(p.D)
+	return e.buf.Bytes()
+}
+
+func encodeReads(graphVersion uint64, p *reads.Payload) []byte {
+	var e enc
+	e.u64(graphVersion)
+	e.f64(p.Opt.C)
+	e.u32(uint32(p.Opt.R))
+	e.u32(uint32(p.Opt.MaxLen))
+	e.u32(uint32(p.Opt.RQ))
+	e.u64(p.Opt.Seed)
+	e.i32s(p.WalkLens)
+	e.nodes(p.Nodes)
+	return e.buf.Bytes()
+}
+
+// Encode serializes a snapshot to the on-disk format. The graph is
+// required; index sections are written only if their payloads are set.
+func Encode(s *Snapshot) ([]byte, error) {
+	if s == nil || s.Graph == nil {
+		return nil, fmt.Errorf("store: encode: snapshot has no graph")
+	}
+	type section struct {
+		name    string
+		payload []byte
+	}
+	metaJSON, err := json.Marshal(s.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode: meta: %w", err)
+	}
+	gv := s.Graph.Version()
+	sections := []section{
+		{SecGraph, encodeGraph(s.Graph)},
+		{SecMeta, metaJSON},
+	}
+	if s.Sling != nil {
+		sections = append(sections, section{SecSling, encodeSling(gv, s.Sling)})
+	}
+	if s.Reads != nil {
+		sections = append(sections, section{SecReads, encodeReads(gv, s.Reads)})
+	}
+
+	var e enc
+	e.buf.WriteString(Magic)
+	e.u32(FormatVersion)
+	e.u64(gv)
+	e.u32(uint32(len(sections)))
+	off := uint64(headerSize + len(sections)*sectionHeaderSize)
+	for _, sec := range sections {
+		var name [8]byte
+		copy(name[:], sec.name)
+		e.buf.Write(name[:])
+		e.u64(off)
+		e.u64(uint64(len(sec.payload)))
+		e.u32(crc32.ChecksumIEEE(sec.payload))
+		off += uint64(len(sec.payload))
+	}
+	for _, sec := range sections {
+		e.buf.Write(sec.payload)
+	}
+	return e.buf.Bytes(), nil
+}
+
+// Write encodes the snapshot and writes it to path atomically (temp
+// file + rename), so a crash mid-write never leaves a half-snapshot
+// that a later strict load would have to reject.
+func Write(path string, s *Snapshot) error {
+	data, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package store persists the expensive artifacts of a serving process —
+// the frozen graph and the SLING/READS precomputed indexes — as a
+// single versioned, checksummed binary snapshot, so a restart loads in
+// I/O time instead of rebuild time.
+//
+// File layout (all integers little-endian):
+//
+//	magic            8 bytes  "CSIMSNAP"
+//	format version   u32      currently 1
+//	graph version    u64      identity of the snapshotted graph
+//	section count    u32
+//	section table    count × { name [8]byte NUL-padded,
+//	                           offset u64, length u64, crc32 u32 }
+//	section payloads byte ranges referenced by the table
+//
+// Offsets are absolute file offsets and the CRC (IEEE 802.3) covers the
+// raw payload bytes of each section, so a loader can verify a section
+// before decoding a single field of it. Sections:
+//
+//	"graph"  the CSR arrays of a frozen graph.Graph (required)
+//	"meta"   JSON dataset metadata (required)
+//	"sling"  a sling.Payload, prefixed by its graph version
+//	"reads"  a reads.Payload, prefixed by its graph version
+//
+// Invariants enforced by the loader:
+//
+//   - wrong magic, unknown format version, truncation, and checksum
+//     mismatch each fail with a distinct sentinel error (errors.Is);
+//   - a content-derived graph version is recomputed from the decoded
+//     CSR arrays (graph.FromCSR) — a snapshot cannot claim an identity
+//     its bytes do not hash to;
+//   - an index section whose recorded graph version differs from the
+//     graph it is imported against is refused with ErrVersionMismatch,
+//     so a stale index can never serve scores for a changed graph.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"strings"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/reads"
+	"crashsim/internal/sling"
+)
+
+// Magic identifies a crashsim snapshot file.
+const Magic = "CSIMSNAP"
+
+// FormatVersion is the current snapshot format. Loaders refuse other
+// versions outright: the format is versioned precisely so that a stale
+// binary fails loudly instead of misdecoding.
+const FormatVersion = 1
+
+// Section names, as written into the section table.
+const (
+	SecGraph = "graph"
+	SecMeta  = "meta"
+	SecSling = "sling"
+	SecReads = "reads"
+)
+
+// Typed loader failures. Every way a snapshot can be unusable maps to
+// exactly one of these, so callers can log a precise reason and fall
+// back to a rebuild.
+var (
+	// ErrBadMagic: the file is not a crashsim snapshot at all.
+	ErrBadMagic = errors.New("store: bad magic (not a crashsim snapshot)")
+	// ErrFormatVersion: the snapshot was written by an incompatible
+	// format revision.
+	ErrFormatVersion = errors.New("store: unsupported snapshot format version")
+	// ErrTruncated: the file ends before the bytes the header or
+	// section table promised.
+	ErrTruncated = errors.New("store: snapshot truncated")
+	// ErrChecksum: a section's payload does not hash to its recorded
+	// CRC — the bytes rotted or were edited.
+	ErrChecksum = errors.New("store: section checksum mismatch")
+	// ErrMissingSection: a section the caller requires is absent.
+	ErrMissingSection = errors.New("store: section missing")
+	// ErrVersionMismatch: an index section records a different graph
+	// version than the graph it is being attached to.
+	ErrVersionMismatch = errors.New("store: graph version mismatch")
+)
+
+// Meta is the dataset provenance carried in every snapshot, so an
+// operator can tell what a file on disk contains without loading it
+// into a server.
+type Meta struct {
+	// Dataset is the spec the graph came from: an edge-list path or a
+	// generator spec like "scale-free@1.0/42".
+	Dataset string `json:"dataset,omitempty"`
+	// Tool names the writer (e.g. "gendata", "simserver").
+	Tool string `json:"tool,omitempty"`
+	// CreatedUnix is the write time in Unix seconds.
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+}
+
+// Snapshot is the in-memory form of a snapshot file: the frozen graph,
+// its provenance, and whichever index payloads were persisted. Index
+// payloads stay in flat form until ImportSling/ImportReads binds them
+// to a graph, so a caller can inspect a snapshot without paying for
+// index reconstruction.
+type Snapshot struct {
+	Graph *graph.Graph
+	Meta  Meta
+	Sling *sling.Payload
+	Reads *reads.Payload
+}
+
+// ImportSling reconstructs the snapshot's SLING index over g, refusing
+// with ErrVersionMismatch if g is not the graph the index was built on.
+// Pass s.Graph to bind the index to the snapshot's own graph.
+func (s *Snapshot) ImportSling(g *graph.Graph) (*sling.Index, error) {
+	if s.Sling == nil {
+		return nil, fmt.Errorf("%w: %s", ErrMissingSection, SecSling)
+	}
+	if g.Version() != s.Graph.Version() {
+		return nil, fmt.Errorf("%w: snapshot graph %#x, target graph %#x",
+			ErrVersionMismatch, s.Graph.Version(), g.Version())
+	}
+	return sling.Import(g, *s.Sling)
+}
+
+// ImportReads reconstructs the snapshot's READS index over g, refusing
+// with ErrVersionMismatch if g is not the graph the index was built on.
+func (s *Snapshot) ImportReads(g *graph.Graph) (*reads.Index, error) {
+	if s.Reads == nil {
+		return nil, fmt.Errorf("%w: %s", ErrMissingSection, SecReads)
+	}
+	if g.Version() != s.Graph.Version() {
+		return nil, fmt.Errorf("%w: snapshot graph %#x, target graph %#x",
+			ErrVersionMismatch, s.Graph.Version(), g.Version())
+	}
+	return reads.Import(g, *s.Reads)
+}
+
+// SnapshotPath maps a dataset spec and index algorithm to a stable file
+// name under dir: a sanitized spec prefix plus a short hash of the full
+// spec (so distinct specs that sanitize alike cannot collide), e.g.
+// "scale-free_1.0_42-a1b2c3d4e5f6a7b8.sling.snap".
+func SnapshotPath(dir, spec, algo string) string {
+	h := fnv.New64a()
+	h.Write([]byte(spec))
+	name := sanitize(spec)
+	if len(name) > 40 {
+		name = name[:40]
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s-%016x.%s.snap", name, h.Sum64(), algo))
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-' || r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,291 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/reads"
+	"crashsim/internal/sling"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	const n = 24
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+		if j := (i*7 + 3) % n; j != i {
+			b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testSnapshot builds a graph plus SLING and READS indexes over it and
+// wraps their exported payloads in a snapshot.
+func testSnapshot(t *testing.T) (*Snapshot, *sling.Index, *reads.Index) {
+	t.Helper()
+	g := testGraph(t)
+	slIx, err := sling.Build(g, sling.Options{Seed: 1, DSamples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.NewDiGraph(g.NumNodes(), g.Directed())
+	for _, e := range g.Edges() {
+		if err := d.AddEdge(e.X, e.Y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rdIx, err := reads.Build(d, reads.Options{R: 8, MaxLen: 5, RQ: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slP := slIx.Export()
+	rdP := rdIx.Export()
+	return &Snapshot{
+		Graph: g,
+		Meta:  Meta{Dataset: "unit-test", Tool: "store_test", CreatedUnix: 1754600000},
+		Sling: &slP,
+		Reads: &rdP,
+	}, slIx, rdIx
+}
+
+func encodeOK(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// sectionEntry locates a section in an encoded snapshot and returns the
+// file offset of its table entry and of its payload.
+func sectionEntry(t *testing.T, data []byte, name string) (entryOff, payloadOff, payloadLen int) {
+	t.Helper()
+	count := int(binary.LittleEndian.Uint32(data[20:24]))
+	for i := 0; i < count; i++ {
+		e := headerSize + i*sectionHeaderSize
+		got := string(data[e : e+8])
+		for len(got) > 0 && got[len(got)-1] == 0 {
+			got = got[:len(got)-1]
+		}
+		if got == name {
+			off := int(binary.LittleEndian.Uint64(data[e+8 : e+16]))
+			length := int(binary.LittleEndian.Uint64(data[e+16 : e+24]))
+			return e, off, length
+		}
+	}
+	t.Fatalf("section %q not found", name)
+	return 0, 0, 0
+}
+
+func TestRoundTripBitIdentical(t *testing.T) {
+	snap, slIx, rdIx := testSnapshot(t)
+	got, err := Decode(encodeOK(t, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.Version() != snap.Graph.Version() {
+		t.Fatalf("graph version %#x, want %#x", got.Graph.Version(), snap.Graph.Version())
+	}
+	if got.Graph.NumEdges() != snap.Graph.NumEdges() || got.Graph.NumNodes() != snap.Graph.NumNodes() {
+		t.Fatalf("graph shape %d/%d, want %d/%d",
+			got.Graph.NumNodes(), got.Graph.NumEdges(), snap.Graph.NumNodes(), snap.Graph.NumEdges())
+	}
+	if got.Meta != snap.Meta {
+		t.Fatalf("meta %+v, want %+v", got.Meta, snap.Meta)
+	}
+	if !reflect.DeepEqual(got.Sling, snap.Sling) {
+		t.Fatal("sling payload did not round-trip")
+	}
+	if !reflect.DeepEqual(got.Reads, snap.Reads) {
+		t.Fatal("reads payload did not round-trip")
+	}
+
+	// The loaded indexes must answer exactly what the built ones answer:
+	// same keys, bit-identical float64s.
+	slLoaded, err := got.ImportSling(got.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdLoaded, err := got.ImportReads(got.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < got.Graph.NumNodes(); u++ {
+		want, err := slIx.SingleSource(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := slLoaded.SingleSource(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("sling SingleSource(%d) differs between built and loaded index", u)
+		}
+		want, err = rdIx.SingleSource(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err = rdLoaded.SingleSource(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("reads SingleSource(%d) differs between built and loaded index", u)
+		}
+	}
+}
+
+func TestWriteLoadFile(t *testing.T) {
+	snap, _, _ := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "test.snap")
+	if err := Write(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.Version() != snap.Graph.Version() || got.Sling == nil || got.Reads == nil {
+		t.Fatalf("loaded snapshot incomplete: version %#x, sling %v, reads %v",
+			got.Graph.Version(), got.Sling != nil, got.Reads != nil)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.snap")); err == nil {
+		t.Fatal("loading an absent file succeeded")
+	}
+}
+
+// The corruption matrix: every way a snapshot's bytes can be unusable
+// must fail with its designated sentinel and must never yield a
+// snapshot object.
+func TestCorruptionMatrix(t *testing.T) {
+	snap, _, _ := testSnapshot(t)
+	pristine := encodeOK(t, snap)
+
+	check := func(t *testing.T, data []byte, want error) {
+		t.Helper()
+		got, err := Decode(data)
+		if !errors.Is(err, want) {
+			t.Fatalf("Decode error = %v, want %v", err, want)
+		}
+		if got != nil {
+			t.Fatal("Decode returned a snapshot alongside the error")
+		}
+	}
+	mutate := func(f func(data []byte) []byte) []byte {
+		data := append([]byte(nil), pristine...)
+		return f(data)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		check(t, mutate(func(d []byte) []byte { d[0] = 'X'; return d }), ErrBadMagic)
+	})
+	t.Run("wrong format version", func(t *testing.T) {
+		check(t, mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[8:12], FormatVersion+7)
+			return d
+		}), ErrFormatVersion)
+	})
+	t.Run("empty file", func(t *testing.T) {
+		check(t, nil, ErrTruncated)
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		check(t, pristine[:headerSize-4], ErrTruncated)
+	})
+	t.Run("truncated section table", func(t *testing.T) {
+		check(t, pristine[:headerSize+sectionHeaderSize/2], ErrTruncated)
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		check(t, pristine[:len(pristine)-3], ErrTruncated)
+	})
+	for _, sec := range []string{SecGraph, SecMeta, SecSling, SecReads} {
+		t.Run("bit flip in "+sec, func(t *testing.T) {
+			check(t, mutate(func(d []byte) []byte {
+				_, off, length := sectionEntry(t, d, sec)
+				d[off+length/2] ^= 0x10
+				return d
+			}), ErrChecksum)
+		})
+	}
+	t.Run("index built for a different graph", func(t *testing.T) {
+		// Forge a sling section recorded against another graph version,
+		// with a valid CRC so only the version gate can catch it.
+		check(t, mutate(func(d []byte) []byte {
+			entry, off, length := sectionEntry(t, d, SecSling)
+			d[off] ^= 0xFF
+			binary.LittleEndian.PutUint32(d[entry+24:entry+28], crc32.ChecksumIEEE(d[off:off+length]))
+			return d
+		}), ErrVersionMismatch)
+	})
+	t.Run("forged graph identity", func(t *testing.T) {
+		// A content-derived header version that the CSR bytes do not hash
+		// to must be rejected even though every checksum passes.
+		data := mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[12:20], snap.Graph.Version()^2)
+			return d
+		})
+		if got, err := Decode(data); err == nil || got != nil {
+			t.Fatalf("Decode accepted a forged graph version (err=%v)", err)
+		}
+	})
+	t.Run("missing graph section", func(t *testing.T) {
+		check(t, mutate(func(d []byte) []byte {
+			entry, _, _ := sectionEntry(t, d, SecGraph)
+			copy(d[entry:entry+8], "ignored\x00")
+			return d
+		}), ErrMissingSection)
+	})
+}
+
+func TestImportRefusesWrongGraph(t *testing.T) {
+	snap, _, _ := testSnapshot(t)
+	got, err := Decode(encodeOK(t, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := graph.NewBuilder(24, true).AddEdge(3, 4).MustFreeze()
+	if _, err := got.ImportSling(other); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("ImportSling(other graph) error = %v, want ErrVersionMismatch", err)
+	}
+	if _, err := got.ImportReads(other); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("ImportReads(other graph) error = %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestImportMissingSection(t *testing.T) {
+	snap, _, _ := testSnapshot(t)
+	snap.Sling, snap.Reads = nil, nil
+	got, err := Decode(encodeOK(t, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.ImportSling(got.Graph); !errors.Is(err, ErrMissingSection) {
+		t.Fatalf("ImportSling error = %v, want ErrMissingSection", err)
+	}
+	if _, err := got.ImportReads(got.Graph); !errors.Is(err, ErrMissingSection) {
+		t.Fatalf("ImportReads error = %v, want ErrMissingSection", err)
+	}
+}
+
+func TestSnapshotPathDistinct(t *testing.T) {
+	a := SnapshotPath("idx", "scale-free@1.0/42", "sling")
+	b := SnapshotPath("idx", "scale-free@1.0_42", "sling")
+	if a == b {
+		t.Fatalf("distinct specs mapped to one path %q", a)
+	}
+	if filepath.Dir(a) != "idx" {
+		t.Fatalf("path %q not under requested dir", a)
+	}
+}
