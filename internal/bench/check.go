@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckRow compares one geomean-speedup section of a fresh kernel run
+// against the committed baseline. Ratio is fresh/baseline: below
+// 1-tolerance the section regressed (CrashSim's advantage shrank) and
+// the gate fails; above 1 it merely improved, which is noted, never
+// failed — a slowdown in a *comparison* algorithm inflates the ratio
+// and must not mask a real regression elsewhere.
+type CheckRow struct {
+	Section  string
+	Baseline float64
+	Fresh    float64
+	Ratio    float64
+	OK       bool
+}
+
+// Check gates CrashSim's relative performance: every geomean-speedup
+// section present in BOTH comparisons (static kernel, temporal, batch,
+// store) must hold within tolerance of the baseline. Sections missing
+// from either side are skipped — the CI smoke run regenerates only the
+// sections it can afford, and the gate must not fail on what was not
+// measured. Comparing speedup *ratios* rather than absolute times is
+// what makes the gate portable across machines and scales: both
+// columns of each ratio ran on the same hardware in the same process.
+//
+// A baseline with no comparable sections is an error, not a pass — an
+// empty gate green-lighting everything is the worst failure mode a
+// perf gate can have.
+func Check(baseline, fresh *KernelComparison, tolerance float64) ([]CheckRow, *Report, error) {
+	if !(tolerance > 0 && tolerance < 1) {
+		return nil, nil, fmt.Errorf("bench: check tolerance must be in (0,1), got %g", tolerance)
+	}
+	type section struct {
+		name         string
+		base, now    float64
+		haveB, haveN bool
+	}
+	sections := []section{
+		{"static", baseline.GeoMeanSpeedup, fresh.GeoMeanSpeedup,
+			len(baseline.Results) > 0, len(fresh.Results) > 0},
+		{"temporal", geo(baseline.Temporal != nil, func() float64 { return baseline.Temporal.GeoMeanSpeedup }),
+			geo(fresh.Temporal != nil, func() float64 { return fresh.Temporal.GeoMeanSpeedup }),
+			baseline.Temporal != nil, fresh.Temporal != nil},
+		{"batch", geo(baseline.Batch != nil, func() float64 { return baseline.Batch.GeoMeanSpeedup }),
+			geo(fresh.Batch != nil, func() float64 { return fresh.Batch.GeoMeanSpeedup }),
+			baseline.Batch != nil, fresh.Batch != nil},
+		{"store", geo(baseline.Store != nil, func() float64 { return baseline.Store.GeoMeanSpeedup }),
+			geo(fresh.Store != nil, func() float64 { return fresh.Store.GeoMeanSpeedup }),
+			baseline.Store != nil, fresh.Store != nil},
+	}
+	var rows []CheckRow
+	for _, s := range sections {
+		if !s.haveB || !s.haveN {
+			continue
+		}
+		if !(s.base > 0) || math.IsNaN(s.now) || s.now <= 0 {
+			return nil, nil, fmt.Errorf("bench: check section %q has non-positive geomean (baseline %g, fresh %g)",
+				s.name, s.base, s.now)
+		}
+		ratio := s.now / s.base
+		rows = append(rows, CheckRow{
+			Section:  s.name,
+			Baseline: s.base,
+			Fresh:    s.now,
+			Ratio:    ratio,
+			OK:       ratio >= 1-tolerance,
+		})
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("bench: check found no section present in both baseline and fresh run")
+	}
+
+	rep := &Report{
+		Title:   "Perf-regression gate: fresh geomean speedups vs committed baseline",
+		Notes:   []string{fmt.Sprintf("tolerance: a section fails below %.0f%% of its baseline ratio", (1-tolerance)*100)},
+		Columns: []string{"section", "baseline", "fresh", "ratio", "verdict"},
+	}
+	failed := 0
+	for _, r := range rows {
+		verdict := "ok"
+		if !r.OK {
+			verdict = "REGRESSED"
+			failed++
+		} else if r.Ratio > 1+tolerance {
+			verdict = "improved"
+		}
+		rep.AddRow(r.Section, fmt.Sprintf("%.3fx", r.Baseline), fmt.Sprintf("%.3fx", r.Fresh),
+			fmt.Sprintf("%.3f", r.Ratio), verdict)
+	}
+	if failed > 0 {
+		rep.Footer = append(rep.Footer, fmt.Sprintf("%d of %d sections regressed", failed, len(rows)))
+		return rows, rep, fmt.Errorf("bench: perf regression: %d of %d sections below %.0f%% of baseline",
+			failed, len(rows), (1-tolerance)*100)
+	}
+	rep.Footer = append(rep.Footer, fmt.Sprintf("all %d sections within tolerance", len(rows)))
+	return rows, rep, nil
+}
+
+// geo evaluates f only when present, avoiding nil dereference in the
+// composite-literal table above.
+func geo(present bool, f func() float64) float64 {
+	if !present {
+		return 0
+	}
+	return f()
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func comparison(static, temporal, batch, store float64) *KernelComparison {
+	c := &KernelComparison{}
+	if static > 0 {
+		c.Results = []KernelResult{{Dataset: "x"}}
+		c.GeoMeanSpeedup = static
+	}
+	if temporal > 0 {
+		c.Temporal = &TemporalComparison{GeoMeanSpeedup: temporal}
+	}
+	if batch > 0 {
+		c.Batch = &ThroughputComparison{GeoMeanSpeedup: batch}
+	}
+	if store > 0 {
+		c.Store = &StoreComparison{GeoMeanSpeedup: store}
+	}
+	return c
+}
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	base := comparison(2.0, 2.2, 1.6, 2.6)
+	fresh := comparison(1.8, 2.4, 1.5, 2.3)
+	rows, rep, err := Check(base, fresh, 0.15)
+	if err != nil {
+		t.Fatalf("within-tolerance run failed: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("section %s flagged at ratio %.3f under tolerance 0.15", r.Section, r.Ratio)
+		}
+	}
+	if rep == nil || len(rep.Rows) != 4 {
+		t.Fatalf("report missing rows: %+v", rep)
+	}
+}
+
+func TestCheckFailsOnRegression(t *testing.T) {
+	base := comparison(2.0, 2.2, 1.6, 2.6)
+	fresh := comparison(2.0, 1.5, 1.6, 2.6) // temporal dropped 32%
+	rows, _, err := Check(base, fresh, 0.15)
+	if err == nil {
+		t.Fatal("32% temporal regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("error does not name the regression: %v", err)
+	}
+	var bad int
+	for _, r := range rows {
+		if !r.OK {
+			bad++
+			if r.Section != "temporal" {
+				t.Errorf("wrong section flagged: %s", r.Section)
+			}
+		}
+	}
+	if bad != 1 {
+		t.Fatalf("%d sections flagged, want 1", bad)
+	}
+}
+
+// TestCheckSkipsMissingSections mirrors the CI smoke flow: the fresh
+// run only regenerates the kernel sections, the committed baseline has
+// all four; only the overlap is compared.
+func TestCheckSkipsMissingSections(t *testing.T) {
+	base := comparison(2.0, 2.2, 1.6, 2.6)
+	fresh := comparison(1.9, 2.1, 0, 0) // no batch/store in the smoke run
+	rows, _, err := Check(base, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (static, temporal): %+v", len(rows), rows)
+	}
+	// A store regression in the baseline side alone must not trip it.
+	for _, r := range rows {
+		if r.Section == "batch" || r.Section == "store" {
+			t.Errorf("compared section %q absent from fresh run", r.Section)
+		}
+	}
+}
+
+func TestCheckRejectsDegenerateInputs(t *testing.T) {
+	base := comparison(2.0, 0, 0, 0)
+	fresh := comparison(2.0, 0, 0, 0)
+	if _, _, err := Check(base, fresh, 0); err == nil {
+		t.Error("tolerance 0 accepted")
+	}
+	if _, _, err := Check(base, fresh, 1); err == nil {
+		t.Error("tolerance 1 accepted")
+	}
+	// No overlapping sections: empty gates must fail loudly.
+	if _, _, err := Check(comparison(2.0, 0, 0, 0), comparison(0, 2.2, 0, 0), 0.15); err == nil {
+		t.Error("disjoint comparisons produced a green gate")
+	}
+	if _, _, err := Check(&KernelComparison{}, &KernelComparison{}, 0.15); err == nil {
+		t.Error("two empty comparisons produced a green gate")
+	}
+}

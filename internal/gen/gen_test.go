@@ -417,3 +417,38 @@ func TestModelString(t *testing.T) {
 		t.Error("unknown model should stringify")
 	}
 }
+
+func TestServingProfileWeb1m(t *testing.T) {
+	p, err := ProfileByName("web-1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Edges < 1_000_000 {
+		t.Fatalf("web-1m declares %d edges, serving benchmarks need >= 10^6", p.Edges)
+	}
+	// Serving profiles stay out of the paper set: the committed
+	// BENCH_crashsim.json baseline iterates Profiles(), and growing it
+	// would silently change every recorded comparison.
+	for _, q := range Profiles() {
+		if q.Name == p.Name {
+			t.Fatalf("serving profile %q leaked into Profiles()", p.Name)
+		}
+	}
+	found := false
+	for _, q := range ServingProfiles() {
+		found = found || q.Name == p.Name
+	}
+	if !found {
+		t.Fatal("web-1m missing from ServingProfiles()")
+	}
+	// Generating the full 10^6-edge graph in a unit test would cost
+	// seconds; a scaled instance exercises the same generator path.
+	small := p.Scaled(0.005)
+	g, err := small.Static(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != small.Nodes || g.NumEdges() == 0 {
+		t.Fatalf("scaled web-1m generated n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}

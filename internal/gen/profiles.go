@@ -65,21 +65,52 @@ var profiles = []Profile{
 	{Name: "hepph", Directed: true, Nodes: 34546, Edges: 421578, Snapshots: 100, Model: ModelPrefAttach, ChurnRate: 0.01, ActiveFraction: 0.5},
 }
 
+// servingProfiles are workload-scale profiles beyond the paper's Table
+// III, sized so the serving stack (result cache, admission control,
+// batch pipeline) is measured under real memory and cache pressure.
+// They are reachable by name (ProfileByName) but deliberately excluded
+// from Profiles(): the paper-reproduction experiments and the
+// BENCH_crashsim.json baseline iterate Profiles(), and growing that
+// set would silently change every committed comparison.
+var servingProfiles = []Profile{
+	// web-1m: a directed power-law graph at 10⁶+ edges, the scale the
+	// open-loop serving benchmark (bench.Serving) runs its rate ladder
+	// against. Exponent and mean degree sit between wiki-vote and
+	// as-caida, giving the hub-heavy in-degree skew that makes hot
+	// Zipf sources expensive and the query cache worth measuring.
+	{Name: "web-1m", Directed: true, Nodes: 300000, Edges: 1200000, Snapshots: 10, Model: ModelChungLu, Exponent: 2.0, ChurnRate: 0.002, ActiveFraction: 0.5},
+}
+
 // Profiles returns the five dataset profiles in the paper's order.
 func Profiles() []Profile {
 	return append([]Profile(nil), profiles...)
 }
 
-// ProfileByName looks a profile up by its dataset name.
+// ServingProfiles returns the workload-scale profiles (not part of the
+// paper's Table III set).
+func ServingProfiles() []Profile {
+	return append([]Profile(nil), servingProfiles...)
+}
+
+// ProfileByName looks a profile up by its dataset name, covering both
+// the paper's Table III set and the workload-scale serving profiles.
 func ProfileByName(name string) (Profile, error) {
 	for _, p := range profiles {
 		if p.Name == name {
 			return p, nil
 		}
 	}
-	names := make([]string, len(profiles))
-	for i, p := range profiles {
-		names[i] = p.Name
+	for _, p := range servingProfiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, len(profiles)+len(servingProfiles))
+	for _, p := range profiles {
+		names = append(names, p.Name)
+	}
+	for _, p := range servingProfiles {
+		names = append(names, p.Name)
 	}
 	sort.Strings(names)
 	return Profile{}, fmt.Errorf("gen: unknown profile %q (have %v)", name, names)

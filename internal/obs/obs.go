@@ -179,6 +179,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	quants   map[string]*QuantileHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -187,6 +188,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		quants:   make(map[string]*QuantileHistogram),
 	}
 }
 
@@ -250,12 +252,39 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
+// Quantile returns the named quantile histogram, creating it if
+// needed. Unlike the fixed-bucket Histogram it needs no bounds
+// configuration: the log-linear layout spans every duration with
+// bounded relative error.
+func (r *Registry) Quantile(name string) *QuantileHistogram {
+	r.mu.RLock()
+	q, ok := r.quants[name]
+	r.mu.RUnlock()
+	if ok {
+		return q
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if q, ok = r.quants[name]; !ok {
+		q = new(QuantileHistogram)
+		r.quants[name] = q
+	}
+	return q
+}
+
 // Snapshot is a point-in-time copy of a registry, JSON-marshalable
 // as-is.
 type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Quantiles summarizes the registry's quantile histograms as
+	// cumulative (process-lifetime) percentiles. Windowed percentiles
+	// cannot be derived by subtracting two summaries — percentiles do
+	// not subtract — so Delta passes the later summary through
+	// unchanged; consumers that need per-window percentiles (the load
+	// harness) merge per-worker QuantileHistograms instead.
+	Quantiles map[string]QuantileSnapshot `json:"quantiles,omitempty"`
 }
 
 // Snapshot copies every metric's current value.
@@ -266,6 +295,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   make(map[string]uint64, len(r.counters)),
 		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Quantiles:  make(map[string]QuantileSnapshot, len(r.quants)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Load()
@@ -275,6 +305,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
+	}
+	for name, q := range r.quants {
+		s.Quantiles[name] = q.Snapshot()
 	}
 	return s
 }
@@ -287,6 +320,13 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 		Counters:   make(map[string]uint64, len(s.Counters)+len(other.Counters)),
 		Gauges:     make(map[string]int64, len(s.Gauges)+len(other.Gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)+len(other.Histograms)),
+		Quantiles:  make(map[string]QuantileSnapshot, len(s.Quantiles)+len(other.Quantiles)),
+	}
+	for k, v := range other.Quantiles {
+		out.Quantiles[k] = v
+	}
+	for k, v := range s.Quantiles {
+		out.Quantiles[k] = v
 	}
 	for k, v := range other.Counters {
 		out.Counters[k] = v
@@ -319,6 +359,12 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		Counters:   make(map[string]uint64, len(s.Counters)),
 		Gauges:     make(map[string]int64, len(s.Gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		Quantiles:  make(map[string]QuantileSnapshot, len(s.Quantiles)),
+	}
+	// Percentile summaries do not subtract; keep the later snapshot's
+	// cumulative view (see the Quantiles field doc).
+	for k, v := range s.Quantiles {
+		out.Quantiles[k] = v
 	}
 	for k, v := range s.Counters {
 		out.Counters[k] = v - prev.Counters[k]

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"crashsim/internal/core"
+	"crashsim/internal/graph"
+	"crashsim/internal/obs"
+)
+
+// fakeClock drives the server's latency accounting with known
+// durations: admit calls now() exactly twice per request (start and
+// end), so request i is reported as taking lats[i].
+type fakeClock struct {
+	base time.Time
+	lats []time.Duration
+	call int
+}
+
+func (c *fakeClock) now() time.Time {
+	i := c.call / 2
+	odd := c.call%2 == 1
+	c.call++
+	if !odd {
+		return c.base
+	}
+	return c.base.Add(c.lats[i])
+}
+
+// TestStatsReportsDrivenP99 pushes 100 requests with known fake-clock
+// latencies through the server — 99 fast, one 900ms straggler — and
+// asserts /stats and /metrics report the straggler as the p99 within
+// the quantile histogram's documented error bound.
+func TestStatsReportsDrivenP99(t *testing.T) {
+	s, err := New(Config{
+		Graph:   graph.PaperExample(),
+		Params:  core.Params{Iterations: 50, Seed: 1},
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	const slow = 900 * time.Millisecond
+	clock := &fakeClock{base: time.Unix(1700000000, 0)}
+	for i := 0; i < n; i++ {
+		d := 2 * time.Millisecond
+		if i == 37 {
+			d = slow
+		}
+		clock.lats = append(clock.lats, d)
+	}
+	s.now = clock.now
+
+	for i := 0; i < n; i++ {
+		rec, _ := get(t, s, "/singlesource?u=0&k=3")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	if clock.call != 2*n {
+		t.Fatalf("clock consulted %d times, want %d", clock.call, 2*n)
+	}
+
+	rec, body := get(t, s, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats status %d", rec.Code)
+	}
+	lat, ok := body["latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no latency block: %v", body)
+	}
+	if got := lat["count"].(float64); got != n {
+		t.Fatalf("latency count %v, want %d", got, n)
+	}
+	checkQuantile := func(name string, got, exact time.Duration) {
+		t.Helper()
+		if got < exact {
+			t.Errorf("%s = %v undershoots %v", name, got, exact)
+		}
+		if float64(got) > float64(exact)*1.04+1 {
+			t.Errorf("%s = %v exceeds error bound around %v", name, got, exact)
+		}
+	}
+	secs := func(k string) time.Duration {
+		v, ok := lat[k].(float64)
+		if !ok {
+			t.Fatalf("latency[%q] missing: %v", k, lat)
+		}
+		return time.Duration(v * float64(time.Second))
+	}
+	// Rank rule: p99 of 100 samples is the 99th order statistic — the
+	// 900ms straggler; p50 and p90 are the 2ms mode; max is exact.
+	checkQuantile("p99", secs("p99"), slow)
+	checkQuantile("p999", secs("p999"), slow)
+	checkQuantile("p50", secs("p50"), 2*time.Millisecond)
+	checkQuantile("p90", secs("p90"), 2*time.Millisecond)
+	if got := secs("max"); got != slow {
+		t.Errorf("max = %v, want exact %v", got, slow)
+	}
+	wantMean := (99*(2*time.Millisecond) + slow) / n
+	if got := secs("mean_seconds"); got < wantMean-time.Microsecond || got > wantMean+time.Microsecond {
+		t.Errorf("mean = %v, want ~%v", got, wantMean)
+	}
+
+	// The same observations surface on /metrics under "quantiles".
+	rec, body = get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	quants, ok := body["quantiles"].(map[string]any)
+	if !ok {
+		t.Fatalf("/metrics has no quantiles block: %v", body)
+	}
+	ql, ok := quants["server.latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("quantiles missing server.latency: %v", quants)
+	}
+	if got := ql["count"].(float64); got != n {
+		t.Errorf("metrics quantile count %v, want %d", got, n)
+	}
+	p99 := time.Duration(ql["p99"].(float64) * float64(time.Second))
+	checkQuantile("metrics p99", p99, slow)
+}
+
+// TestBatchLatencyRecorded pins that the batch endpoint feeds the same
+// quantile histogram as the scalar endpoints.
+func TestBatchLatencyRecorded(t *testing.T) {
+	s, err := New(Config{
+		Graph:   graph.PaperExample(),
+		Params:  core.Params{Iterations: 50, Seed: 1},
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{base: time.Unix(1700000000, 0), lats: []time.Duration{42 * time.Millisecond}}
+	s.now = clock.now
+	rec, _ := post(t, s, "/batch/singlesource", `{"sources":[0,1],"k":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body)
+	}
+	_, body := get(t, s, "/stats")
+	lat := body["latency"].(map[string]any)
+	if got := lat["count"].(float64); got != 1 {
+		t.Fatalf("latency count %v after one batch, want 1", got)
+	}
+	if got := lat["max"].(float64); got != (42 * time.Millisecond).Seconds() {
+		t.Fatalf("batch latency max %v, want 0.042", got)
+	}
+	if fmt.Sprint(lat["p50"]) == "0" {
+		t.Fatalf("batch latency p50 missing: %v", lat)
+	}
+}

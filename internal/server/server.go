@@ -157,6 +157,14 @@ type Server struct {
 	served   *obs.Counter
 	rejected *obs.Counter
 	latency  *obs.Histogram
+	// qlatency is the log-bucketed percentile view of the same
+	// end-to-end request latency that the fixed-bucket latency
+	// histogram records: p50/p90/p99/p999 + exact max with ~3% relative
+	// error, served live on /stats and /metrics.
+	qlatency *obs.QuantileHistogram
+	// now is the clock behind latency accounting; tests substitute a
+	// fake to drive known durations through the histograms.
+	now func() time.Time
 }
 
 // New validates the configuration, builds the selected estimator
@@ -232,7 +240,9 @@ func New(cfg Config) (*Server, error) {
 		served:        cfg.Metrics.Counter("server.queries"),
 		rejected:      cfg.Metrics.Counter("server.rejected"),
 		latency:       cfg.Metrics.Histogram("server.latency"),
+		qlatency:      cfg.Metrics.Quantile("server.latency"),
 		statsComputed: cfg.Metrics.Counter("server.stats_computed"),
+		now:           time.Now,
 	}
 	s.stats = graph.ComputeStats(cfg.Graph)
 	s.statsComputed.Inc()
@@ -327,10 +337,18 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer s.release(1)
-		start := time.Now()
+		start := s.now()
 		h(w, r)
-		s.latency.Since(start)
+		s.observeLatency(s.now().Sub(start))
 	}
+}
+
+// observeLatency records one end-to-end request latency into both
+// views: the fixed-bucket histogram (bucket counts on /metrics) and
+// the quantile histogram (live percentiles on /stats and /metrics).
+func (s *Server) observeLatency(d time.Duration) {
+	s.latency.Observe(d)
+	s.qlatency.Observe(d)
 }
 
 // Algo returns the name of the backend serving queries.
@@ -410,11 +428,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleStats serves the statistics computed once in New — the graph
-// is immutable, so no request ever re-walks it. Only the cache block is
-// live.
+// is immutable, so no request ever re-walks it. The cache and latency
+// blocks are live: "latency" carries the log-bucketed percentile view
+// of end-to-end request latency (count, mean, p50/p90/p99/p999 in
+// seconds, exact max) accumulated since startup.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.stats
+	lat := s.qlatency.Snapshot()
 	body := map[string]any{
+		"latency": map[string]any{
+			"count":        lat.Count,
+			"mean_seconds": lat.Mean(),
+			"p50":          lat.P50,
+			"p90":          lat.P90,
+			"p99":          lat.P99,
+			"p999":         lat.P999,
+			"max":          lat.Max,
+		},
 		"nodes":        st.Nodes,
 		"edges":        st.Edges,
 		"directed":     st.Directed,
@@ -450,8 +480,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 //
 //	  "gauges":     {"server.inflight": 1, ...},
 //	  "histograms": {"engine.crashsim.latency": {"count": 42, "sum_seconds": 1.9,
-//	                  "buckets": [{"le": 0.0001, "count": 0}, ...], "overflow": 0}, ...}
+//	                  "buckets": [{"le": 0.0001, "count": 0}, ...], "overflow": 0}, ...},
+//	  "quantiles":  {"server.latency": {"count": 42, "sum_seconds": 1.9,
+//	                  "p50": 0.012, "p90": 0.031, "p99": 0.084, "p999": 0.21, "max": 0.4}}
 //	}
+//
+// "quantiles" is the log-bucketed percentile view of end-to-end
+// request latency (seconds, ~3% relative error, exact max) — the same
+// observations as the fixed-bucket server.latency histogram, shaped
+// for SLO dashboards instead of bucket math. /stats carries the same
+// summary under "latency".
 //
 // Bucket counts are per-bucket (not cumulative); "overflow" counts
 // observations above the last bound. With the default registry the
@@ -654,8 +692,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release(weight)
-	start := time.Now()
-	defer func() { s.latency.Since(start) }()
+	start := s.now()
+	defer func() { s.observeLatency(s.now().Sub(start)) }()
 
 	// Per-item validation: an out-of-range source gets its own error
 	// entry; the valid remainder still runs as one batch.
