@@ -171,3 +171,15 @@ func BenchmarkStore(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPRSim regenerates the PRSim hub-index comparison (map-based
+// skeleton vs compiled flat tables, internal/prsim) behind
+// BENCH_crashsim.json's prsim section.
+func BenchmarkPRSim(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.PRSim(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,7 +17,7 @@
 //	crashsim -temporal as.tgraph -source 3 -query trend -direction increasing
 //	crashsim -temporal as.tgraph -source 3 -query durable -topk 10
 //
-// Index persistence (sling and reads backends): -save-index builds the
+// Index persistence (sling, reads and prsim backends): -save-index builds the
 // index, snapshots graph + index to a file (internal/store format) and
 // answers the query; -load-index answers the query from a snapshot —
 // graph included, so no -graph/-profile is needed — after verifying
@@ -68,9 +68,10 @@ func main() {
 		repeat       = flag.Int("repeat", 1, "run the static query this many times (with -cache-bytes, repeats hit the result cache)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "enable a query-result cache of this capacity for static queries (0 = off)")
 		cacheTTL     = flag.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = no age bound)")
-		saveIndex    = flag.String("save-index", "", "build the index (sling/reads) and write a graph+index snapshot to this file")
+		saveIndex    = flag.String("save-index", "", "build the index (sling/reads/prsim) and write a graph+index snapshot to this file")
 		loadIndex    = flag.String("load-index", "", "answer from a graph+index snapshot instead of building (no -graph/-profile needed)")
 		verifyIndex  = flag.Bool("verify-index", false, "with -load-index: rebuild from the snapshot's graph and require bit-identical scores")
+		hubFraction  = flag.Float64("hub-fraction", 0, "prsim: fraction of nodes (by in-degree rank) indexed eagerly (0 = default 0.05)")
 	)
 	flag.Parse()
 
@@ -80,7 +81,7 @@ func main() {
 	switch {
 	case *saveIndex != "" || *loadIndex != "":
 		err = runIndexed(*graphFile, *profile, *scale, *source, *algo, *topk,
-			*saveIndex, *loadIndex, *verifyIndex, opt)
+			*saveIndex, *loadIndex, *verifyIndex, *hubFraction, opt)
 	case *statsOnly:
 		err = runStats(*graphFile, *profile, *scale, opt.Seed)
 	case *temporalFile != "":
@@ -203,9 +204,9 @@ func runStatic(graphFile, profile string, scale float64, source int, algo string
 // from the snapshot itself — the graph travels inside it, so the
 // command is self-contained.
 func runIndexed(graphFile, profile string, scale float64, source int, algo string, topk int,
-	save, load string, verify bool, opt crashsim.Options) error {
-	if algo != "sling" && algo != "reads" {
-		return fmt.Errorf("-save-index/-load-index need an index-based backend (sling or reads), got %q", algo)
+	save, load string, verify bool, hubFraction float64, opt crashsim.Options) error {
+	if algo != "sling" && algo != "reads" && algo != "prsim" {
+		return fmt.Errorf("-save-index/-load-index need an index-based backend (sling, reads or prsim), got %q", algo)
 	}
 	if load != "" && save != "" {
 		return fmt.Errorf("-save-index and -load-index are mutually exclusive")
@@ -217,6 +218,7 @@ func runIndexed(graphFile, profile string, scale float64, source int, algo strin
 	ecfg := engine.Config{
 		C: opt.C, Eps: opt.Eps, Delta: opt.Delta,
 		Iterations: opt.Iterations, Workers: opt.Workers, Seed: opt.Seed,
+		HubFraction: hubFraction,
 	}
 
 	var g *crashsim.Graph
@@ -249,6 +251,15 @@ func runIndexed(graphFile, profile string, scale float64, source int, algo strin
 			o := ix.Options()
 			ecfg.C, ecfg.Seed = o.C, o.Seed
 			ecfg.ReadsR, ecfg.ReadsRQ = o.R, o.RQ
+		case "prsim":
+			ix, err := snap.ImportPRSim(g)
+			if err != nil {
+				return err
+			}
+			ecfg.PRSimIndex = ix
+			o := ix.Options()
+			ecfg.C, ecfg.Eps, ecfg.Delta, ecfg.Seed = o.C, o.Eps, o.Delta, o.Seed
+			ecfg.Iterations, ecfg.HubFraction, ecfg.PRSimDSamples = o.Iterations, o.HubFraction, o.DSamples
 		}
 		fmt.Printf("imported %s index in %v\n", algo, time.Since(importStart).Round(time.Microsecond))
 		if err := verifyLoaded(ctx, verify, algo, g, snap, ecfg); err != nil {
@@ -282,6 +293,14 @@ func runIndexed(graphFile, profile string, scale float64, source int, algo strin
 			ecfg.ReadsIndex = ix
 			p := ix.Export()
 			snap.Reads = &p
+		case "prsim":
+			ix, err := engine.BuildPRSimIndex(ctx, g, ecfg)
+			if err != nil {
+				return err
+			}
+			ecfg.PRSimIndex = ix
+			p := ix.Export()
+			snap.PRSim = &p
 		}
 		fmt.Printf("built %s index in %v\n", algo, time.Since(buildStart).Round(time.Microsecond))
 		if err := store.Write(save, snap); err != nil {
@@ -322,7 +341,7 @@ func verifyLoaded(ctx context.Context, verify bool, algo string, g *crashsim.Gra
 		return err
 	}
 	rcfg := ecfg
-	rcfg.SlingIndex, rcfg.ReadsIndex = nil, nil
+	rcfg.SlingIndex, rcfg.ReadsIndex, rcfg.PRSimIndex = nil, nil, nil
 	rebuilt, err := engine.New(ctx, algo, g, rcfg)
 	if err != nil {
 		return fmt.Errorf("verify: rebuilding: %w", err)

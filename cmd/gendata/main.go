@@ -56,7 +56,7 @@ func main() {
 		out       = flag.String("o", "", "output file (default stdout)")
 		saveIndex = flag.String("save-index", "",
 			"also build an index over the generated static graph and write a graph+index snapshot here")
-		indexAlgo = flag.String("index-algo", "sling", "index family for -save-index: sling or reads")
+		indexAlgo = flag.String("index-algo", "sling", "index family for -save-index: sling, reads or prsim")
 	)
 	flag.Parse()
 	if *saveIndex != "" && *temporalF {
@@ -147,8 +147,15 @@ func saveSnapshot(g *graph.Graph, path, algo, spec string, seed uint64) error {
 		}
 		p := ix.Export()
 		snap.Reads = &p
+	case "prsim":
+		ix, err := engine.BuildPRSimIndex(context.Background(), g, ecfg)
+		if err != nil {
+			return err
+		}
+		p := ix.Export()
+		snap.PRSim = &p
 	default:
-		return fmt.Errorf("unknown -index-algo %q (want sling or reads)", algo)
+		return fmt.Errorf("unknown -index-algo %q (want sling, reads or prsim)", algo)
 	}
 	fmt.Fprintf(os.Stderr, "gendata: built %s index in %v\n", algo, time.Since(start).Round(time.Millisecond))
 	if err := store.Write(path, snap); err != nil {

@@ -6,16 +6,16 @@
 //	repro [flags] [experiment ...]
 //
 // Experiments: table2, table3, example2, fig5, fig6, fig7, ablation,
-// extra, scaling, memory, kernel, throughput, store, serving, check,
-// all (default: all). Flags tune scale and budgets; the defaults
+// extra, scaling, memory, kernel, throughput, store, prsim, serving,
+// check, all (default: all). Flags tune scale and budgets; the defaults
 // finish in a few minutes. EXPERIMENTS.md records committed results
 // with the exact flags used.
 //
 // -kernel-json names the machine-readable comparison file
 // (BENCH_crashsim.json): the kernel experiment writes the static,
-// temporal and batch sections, the store experiment merges its
-// cold-vs-warm section into the same file, and each writer preserves
-// the sections it does not own.
+// temporal and batch sections, the store and prsim experiments merge
+// their sections into the same file, and each writer preserves the
+// sections it does not own.
 //
 // "serving" runs the open-loop SLO ladder (bench.Serving) against an
 // in-process server and writes BENCH_serving.json (-serving-json). It
@@ -122,7 +122,7 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, opt opt
 	kernelJSON := opt.kernelJSON
 	switch name {
 	case "all":
-		for _, e := range []string{"table2", "table3", "example2", "fig5", "fig6", "fig7", "ablation", "extra", "scaling", "memory", "kernel", "store"} {
+		for _, e := range []string{"table2", "table3", "example2", "fig5", "fig6", "fig7", "ablation", "extra", "scaling", "memory", "kernel", "store", "prsim"} {
 			// "kernel" covers the throughput section too; no separate
 			// entry. serving and check stay explicit: one is a load
 			// test, the other needs a fresh file to grade.
@@ -192,9 +192,10 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, opt opt
 			if err != nil {
 				return err
 			}
-			// Regenerating the kernel sections keeps a previously
-			// recorded store section; "store" owns that one.
+			// Regenerating the kernel sections keeps previously recorded
+			// store and prsim sections; "store" and "prsim" own those.
 			cmp.Store = old.Store
+			cmp.PRSim = old.PRSim
 			if err := writeComparison(kernelJSON, cmp); err != nil {
 				return err
 			}
@@ -238,6 +239,24 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, opt opt
 				return err
 			}
 			old.Store = scmp
+			if err := writeComparison(kernelJSON, old); err != nil {
+				return err
+			}
+		}
+		return print(rep)
+	case "prsim":
+		pcmp, rep, err := bench.PRSim(cfg)
+		if err != nil {
+			return err
+		}
+		if kernelJSON != "" {
+			// Merge like "store": regenerating the prsim section alone
+			// keeps every other committed section.
+			old, err := readComparison(kernelJSON)
+			if err != nil {
+				return err
+			}
+			old.PRSim = pcmp
 			if err := writeComparison(kernelJSON, old); err != nil {
 				return err
 			}
@@ -311,7 +330,7 @@ func run(name string, cfg bench.Config, print func(*bench.Report) error, opt opt
 		}
 		return print(rep)
 	default:
-		return fmt.Errorf("unknown experiment %q (want table2, table3, example2, fig5, fig6, fig7, ablation, extra, scaling, memory, kernel, throughput, store, serving, check, all)", name)
+		return fmt.Errorf("unknown experiment %q (want table2, table3, example2, fig5, fig6, fig7, ablation, extra, scaling, memory, kernel, throughput, store, prsim, serving, check, all)", name)
 	}
 }
 

@@ -28,7 +28,8 @@
 // graph-version invalidation. /health reports the live hit ratio,
 // /stats and /metrics the full cache counters.
 //
-// With -index-dir set and an index-based backend (sling, reads), the
+// With -index-dir set and an index-based backend (sling, reads,
+// prsim), the
 // server restarts warm: it looks for a snapshot of the dataset's index
 // in that directory (internal/store format) and loads it instead of
 // rebuilding, after verifying checksums and that the snapshot's graph
@@ -55,6 +56,7 @@ import (
 	"crashsim"
 	"crashsim/internal/core"
 	"crashsim/internal/engine"
+	"crashsim/internal/prsim"
 	"crashsim/internal/reads"
 	"crashsim/internal/server"
 	"crashsim/internal/sling"
@@ -83,7 +85,9 @@ func main() {
 			"query-result cache entry lifetime (0 = no age bound; graph-version keying already prevents stale results)")
 		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/ (trusted ports only)")
 		indexDir = flag.String("index-dir", "",
-			"index snapshot directory: load the dataset's index from a snapshot instead of rebuilding, write one through after a rebuild (sling/reads backends)")
+			"index snapshot directory: load the dataset's index from a snapshot instead of rebuilding, write one through after a rebuild (sling/reads/prsim backends)")
+		hubFraction = flag.Float64("hub-fraction", 0,
+			"prsim backend: fraction of nodes (by in-degree rank) indexed eagerly as hubs (0 = backend default 0.05)")
 	)
 	flag.Parse()
 
@@ -102,6 +106,7 @@ func main() {
 		CacheBytes:  *cacheBytes,
 		CacheTTL:    *cacheTTL,
 		EnablePprof: *pprofOn,
+		HubFraction: *hubFraction,
 	}
 	if *indexDir != "" {
 		spec := datasetSpec(*graphFile, *profile, *scale, *seed)
@@ -180,14 +185,14 @@ func datasetSpec(graphFile, profile string, scale float64, seed uint64) string {
 // both cases handing the prebuilt index to the server via Config, so
 // server.New never builds twice.
 func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string) error {
-	if scfg.Algo != "sling" && scfg.Algo != "reads" {
+	if scfg.Algo != "sling" && scfg.Algo != "reads" && scfg.Algo != "prsim" {
 		log.Printf("index-dir: backend %q builds no persistent index; ignoring", scfg.Algo)
 		return nil
 	}
 	ecfg := engine.Config{
 		C: scfg.Params.C, Eps: scfg.Params.Eps, Delta: scfg.Params.Delta,
 		Iterations: scfg.Params.Iterations, Workers: scfg.Params.Workers,
-		Seed: scfg.Params.Seed,
+		Seed: scfg.Params.Seed, HubFraction: scfg.HubFraction,
 	}
 	path := store.SnapshotPath(dir, spec, scfg.Algo)
 	if snap, err := store.Load(path); err != nil {
@@ -204,6 +209,8 @@ func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string) error 
 			scfg.SlingIndex, err = snap.ImportSling(g)
 		case "reads":
 			scfg.ReadsIndex, err = snap.ImportReads(g)
+		case "prsim":
+			scfg.PRSimIndex, err = snap.ImportPRSim(g)
 		}
 		if err != nil {
 			log.Printf("index snapshot %s rejected (%v); rebuilding", path, err)
@@ -232,6 +239,13 @@ func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string) error 
 			scfg.ReadsIndex = ix
 			p := ix.Export()
 			snap.Reads = &p
+		}
+	case "prsim":
+		var ix *prsim.Index
+		if ix, err = engine.BuildPRSimIndex(context.Background(), g, ecfg); err == nil {
+			scfg.PRSimIndex = ix
+			p := ix.Export()
+			snap.PRSim = &p
 		}
 	}
 	if err != nil {

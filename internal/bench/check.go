@@ -21,7 +21,7 @@ type CheckRow struct {
 
 // Check gates CrashSim's relative performance: every geomean-speedup
 // section present in BOTH comparisons (static kernel, temporal, batch,
-// store) must hold within tolerance of the baseline. Sections missing
+// store, prsim) must hold within tolerance of the baseline. Sections missing
 // from either side are skipped — the CI smoke run regenerates only the
 // sections it can afford, and the gate must not fail on what was not
 // measured. Comparing speedup *ratios* rather than absolute times is
@@ -52,6 +52,9 @@ func Check(baseline, fresh *KernelComparison, tolerance float64) ([]CheckRow, *R
 		{"store", geo(baseline.Store != nil, func() float64 { return baseline.Store.GeoMeanSpeedup }),
 			geo(fresh.Store != nil, func() float64 { return fresh.Store.GeoMeanSpeedup }),
 			baseline.Store != nil, fresh.Store != nil},
+		{"prsim", geo(baseline.PRSim != nil, func() float64 { return baseline.PRSim.GeoMeanSpeedup }),
+			geo(fresh.PRSim != nil, func() float64 { return fresh.PRSim.GeoMeanSpeedup }),
+			baseline.PRSim != nil, fresh.PRSim != nil},
 	}
 	var rows []CheckRow
 	for _, s := range sections {

@@ -47,6 +47,9 @@ type KernelComparison struct {
 	// Store is the index-snapshot cold-build vs warm-load section
 	// (Store); nil when the store experiment did not run.
 	Store *StoreComparison `json:"store,omitempty"`
+	// PRSim is the hub-index skeleton-vs-compiled section (PRSim); nil
+	// when that experiment did not run.
+	PRSim *PRSimComparison `json:"prsim,omitempty"`
 }
 
 // WriteJSON renders the comparison as indented JSON.

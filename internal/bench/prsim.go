@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"crashsim/internal/gen"
+	"crashsim/internal/graph"
+	"crashsim/internal/prsim"
+	"crashsim/internal/rng"
+)
+
+// PRSimResult is one dataset row of the PRSim skeleton-vs-compiled
+// comparison: the same single-source queries (same seeds, same walk
+// budgets) timed against the map-based skeleton the backend grew out of
+// and the compiled flat-table index that replaced it. Scores are
+// verified bit-identical before the rows are trusted — the variants
+// differ only in memory layout and concurrency machinery, never in
+// estimates.
+type PRSimResult struct {
+	Dataset    string `json:"dataset"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Iterations int    `json:"iterations"`
+	// Hubs is the eagerly indexed hub count; Entries the total (step,
+	// origin, prob) entries the compiled index holds after the run
+	// (hubs plus lazily cached tails).
+	Hubs    int `json:"hubs"`
+	Entries int `json:"entries"`
+	Sources int `json:"sources"`
+	// HubHitRate is the fraction of walk visits served by an eager hub
+	// table — the quantity PRSim's power-law argument is about.
+	HubHitRate float64 `json:"hub_hit_rate"`
+	SkeletonMS float64 `json:"skeleton_ms_per_query"`
+	CompiledMS float64 `json:"compiled_ms_per_query"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// PRSimComparison is the machine-readable "prsim" section of
+// BENCH_crashsim.json (see KernelComparison.PRSim).
+type PRSimComparison struct {
+	Config         string        `json:"config"`
+	Results        []PRSimResult `json:"results"`
+	GeoMeanSpeedup float64       `json:"geomean_speedup"`
+}
+
+// prsimProfiles are the power-law datasets the hub-index argument is
+// about: heavy in-degree skew so source walks concentrate on few hubs.
+// web-1m comes from the serving set, giving the comparison one
+// million-edge row.
+var prsimProfiles = []string{"wiki-vote", "hepph", "web-1m"}
+
+// PRSim measures the PRSim backend before/after compiling the hub
+// index: the map-based skeleton (full-sort hub selection, per-level
+// map accumulation, map-based query scoring) against the production
+// flat-table index, on identical queries over the power-law profiles.
+// Queries run single-threaded, like every measured algorithm in the
+// harness; both variants are warmed by the verification pass, so the
+// timed queries measure steady state (hub tables built, tail caches
+// filled) on both sides.
+func PRSim(cfg Config) (*PRSimComparison, *Report, error) {
+	cfg = cfg.WithDefaults()
+	work := StartWork()
+	cmp := &PRSimComparison{
+		Config: fmt.Sprintf("scale=%.3g sources=%d eps=%g iter-scale=%.3g c=%.2g hub-fraction=0.05 seed=%d",
+			cfg.Scale, cfg.Sources, cfg.Eps, cfg.IterScale, cfg.C, cfg.Seed),
+	}
+	for _, name := range prsimProfiles {
+		prof, err := gen.ProfileByName(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: %w", err)
+		}
+		p := prof.Scaled(cfg.Scale)
+		seed := rng.SeedString(fmt.Sprintf("prsim/%s/%d", p.Name, cfg.Seed))
+		g, err := p.Static(seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: generating %s: %w", p.Name, err)
+		}
+		n := g.NumNodes()
+		iters := cfg.probeIters(n, cfg.Eps)
+		opt := prsim.Options{
+			C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
+			Iterations: iters, Seed: seed,
+		}
+		sk, err := prsim.NewSkeleton(g, opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: %s: skeleton: %w", p.Name, err)
+		}
+		ix, err := prsim.Build(g, opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: %s: %w", p.Name, err)
+		}
+		sources := cfg.sources("prsim/"+p.Name, g, cfg.Sources)
+
+		// Verify every timed source bit-identical across the variants.
+		// This pass doubles as the warm-up: it builds both sides' lazy
+		// tail tables, so the timed queries below measure steady state.
+		for _, u := range sources {
+			if err := verifyPRSim(sk, ix, graph.NodeID(u)); err != nil {
+				return nil, nil, fmt.Errorf("bench: %s: %w", p.Name, err)
+			}
+		}
+		skelSec, compSec, err := timePRSimPaired(sk, ix, sources)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: %s: %w", p.Name, err)
+		}
+		stats := ix.Stats()
+		rate := 0.0
+		if stats.Visits > 0 {
+			rate = float64(stats.HubHits) / float64(stats.Visits)
+		}
+		cmp.Results = append(cmp.Results, PRSimResult{
+			Dataset:    p.Name,
+			Nodes:      n,
+			Edges:      g.NumEdges(),
+			Iterations: iters,
+			Hubs:       ix.HubCount(),
+			Entries:    ix.IndexEntries(),
+			Sources:    len(sources),
+			HubHitRate: rate,
+			SkeletonMS: skelSec / float64(len(sources)) * 1e3,
+			CompiledMS: compSec / float64(len(sources)) * 1e3,
+			Speedup:    skelSec / compSec,
+		})
+	}
+
+	logSum := 0.0
+	for _, r := range cmp.Results {
+		logSum += math.Log(r.Speedup)
+	}
+	cmp.GeoMeanSpeedup = math.Exp(logSum / float64(len(cmp.Results)))
+
+	rep := &Report{
+		Title:   "PRSim hub index before/after: map-based skeleton vs compiled flat tables",
+		Notes:   []string{cmp.Config, "identical queries and seeds; scores verified bit-identical; both variants warm"},
+		Columns: []string{"dataset", "n", "m", "n_q", "hubs", "hub-hit%", "skeleton-ms/q", "compiled-ms/q", "speedup"},
+	}
+	for _, r := range cmp.Results {
+		rep.AddRow(r.Dataset, fmt.Sprint(r.Nodes), fmt.Sprint(r.Edges), fmt.Sprint(r.Iterations),
+			fmt.Sprint(r.Hubs), fmt.Sprintf("%.1f", r.HubHitRate*100),
+			fmt.Sprintf("%.2f", r.SkeletonMS), fmt.Sprintf("%.2f", r.CompiledMS),
+			fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	rep.Footer = append(rep.Footer, fmt.Sprintf("geomean speedup: %.2fx", cmp.GeoMeanSpeedup))
+	rep.Footer = append(rep.Footer, work.Lines()...)
+	return cmp, rep, nil
+}
+
+// verifyPRSim runs one query through both variants and fails unless
+// every score matches bit for bit.
+func verifyPRSim(sk *prsim.Skeleton, ix *prsim.Index, u graph.NodeID) error {
+	want, err := sk.SingleSource(u)
+	if err != nil {
+		return err
+	}
+	got, err := ix.SingleSource(u)
+	if err != nil {
+		return err
+	}
+	if len(want) != len(got) {
+		return fmt.Errorf("prsim mismatch at source %d: %d scores skeleton vs %d compiled", u, len(want), len(got))
+	}
+	for v, s := range want {
+		if math.Float64bits(got[v]) != math.Float64bits(s) {
+			return fmt.Errorf("prsim mismatch at source %d node %d: compiled %v vs skeleton %v", u, v, got[v], s)
+		}
+	}
+	return nil
+}
+
+// timePRSimPaired times the two variants back to back for each source,
+// best of kernelTimingReps repetitions with alternating order, exactly
+// like the crash-kernel comparison (see timeQueriesPaired).
+func timePRSimPaired(sk *prsim.Skeleton, ix *prsim.Index, sources []int32) (skelSec, compSec float64, err error) {
+	oneSkel := func(u int32) (float64, error) {
+		start := time.Now()
+		_, err := sk.SingleSource(graph.NodeID(u))
+		return time.Since(start).Seconds(), err
+	}
+	oneComp := func(u int32) (float64, error) {
+		start := time.Now()
+		_, err := ix.SingleSource(graph.NodeID(u))
+		return time.Since(start).Seconds(), err
+	}
+	for _, u := range sources {
+		bestS, bestC := math.Inf(1), math.Inf(1)
+		for rep := 0; rep < kernelTimingReps; rep++ {
+			var ts, tc float64
+			var err error
+			if rep&1 == 0 {
+				if ts, err = oneSkel(u); err != nil {
+					return 0, 0, err
+				}
+				if tc, err = oneComp(u); err != nil {
+					return 0, 0, err
+				}
+			} else {
+				if tc, err = oneComp(u); err != nil {
+					return 0, 0, err
+				}
+				if ts, err = oneSkel(u); err != nil {
+					return 0, 0, err
+				}
+			}
+			bestS = math.Min(bestS, ts)
+			bestC = math.Min(bestC, tc)
+		}
+		skelSec += bestS
+		compSec += bestC
+	}
+	return skelSec, compSec, nil
+}

@@ -8,6 +8,7 @@ import (
 	"crashsim/internal/exact"
 	"crashsim/internal/graph"
 	"crashsim/internal/probesim"
+	"crashsim/internal/prsim"
 	"crashsim/internal/reads"
 	"crashsim/internal/sling"
 )
@@ -116,6 +117,81 @@ func BuildReadsIndex(ctx context.Context, g *graph.Graph, cfg Config) (*reads.In
 	}
 	ix.BindSourceVersion(g.Version())
 	return ix, nil
+}
+
+// PRSimOptions maps a Config to the PRSim build options the prsim
+// backend uses, so snapshot writers build exactly the index New would.
+func (cfg Config) PRSimOptions() prsim.Options {
+	return prsim.Options{
+		C: cfg.C, Eps: cfg.Eps, Delta: cfg.Delta,
+		HubFraction: cfg.HubFraction, Iterations: cfg.Iterations,
+		DSamples: cfg.PRSimDSamples, Workers: cfg.Workers, Seed: cfg.Seed,
+	}
+}
+
+// BuildPRSimIndex builds the PRSim hub index the prsim backend would
+// build over g for cfg — the write-through path for snapshot
+// persistence (internal/store).
+func BuildPRSimIndex(ctx context.Context, g *graph.Graph, cfg Config) (*prsim.Index, error) {
+	return prsim.BuildCtx(ctx, g, cfg.PRSimOptions())
+}
+
+// prsimEstimator adapts the PRSim hub index; New pays the eager hub
+// build unless Config carries a compatible preloaded one. Tail tables
+// keep filling lazily (and concurrently) behind the index's per-node
+// singleflight.
+type prsimEstimator struct {
+	g  *graph.Graph
+	ix *prsim.Index
+}
+
+func newPRSim(ctx context.Context, g *graph.Graph, cfg Config) (Estimator, error) {
+	if ix := cfg.PRSimIndex; ix != nil {
+		if v := ix.Graph().Version(); v != g.Version() {
+			return nil, fmt.Errorf("preloaded prsim index built on graph %#x, serving graph is %#x", v, g.Version())
+		}
+		if want, have := cfg.PRSimOptions().WithDefaults(), ix.Options(); !prsimOptionsEqual(want, have) {
+			return nil, fmt.Errorf("preloaded prsim index built with %+v, config asks for %+v", have, want)
+		}
+		return &prsimEstimator{g: g, ix: ix}, nil
+	}
+	ix, err := prsim.BuildCtx(ctx, g, cfg.PRSimOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &prsimEstimator{g: g, ix: ix}, nil
+}
+
+// prsimOptionsEqual compares build-relevant options; Workers is a
+// runtime knob with no effect on the built index.
+func prsimOptionsEqual(a, b prsim.Options) bool {
+	a.Workers, b.Workers = 0, 0
+	return a == b
+}
+
+func (e *prsimEstimator) Name() string { return "prsim" }
+
+func (e *prsimEstimator) SingleSource(ctx context.Context, u graph.NodeID, omega []graph.NodeID) (core.Scores, error) {
+	s, err := e.ix.SingleSourceCtx(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	return restrict(core.Scores(s), omega, e.g.NumNodes())
+}
+
+// MultiSource shares one lazy hub/tail table build per unique visited
+// node across the whole batch; each entry is bit-identical to the
+// corresponding SingleSource call.
+func (e *prsimEstimator) MultiSource(ctx context.Context, sources []graph.NodeID) ([]core.Scores, error) {
+	res, err := e.ix.MultiSource(ctx, sources)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Scores, len(res))
+	for i, s := range res {
+		out[i] = core.Scores(s)
+	}
+	return out, nil
 }
 
 // slingEstimator adapts the SLING index; New pays the full index build

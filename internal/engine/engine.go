@@ -22,6 +22,7 @@ import (
 	"crashsim/internal/core"
 	"crashsim/internal/graph"
 	"crashsim/internal/obs"
+	"crashsim/internal/prsim"
 	"crashsim/internal/reads"
 	"crashsim/internal/sling"
 )
@@ -88,6 +89,11 @@ type Config struct {
 	ReadsRQ int
 	// SlingDSamples is SLING's per-node d(x) sample count (default 120).
 	SlingDSamples int
+	// HubFraction is PRSim's eagerly indexed fraction of nodes by
+	// in-degree rank (default 0.05).
+	HubFraction float64
+	// PRSimDSamples is PRSim's per-node d(w) sample count (default 120).
+	PRSimDSamples int
 	// ExactIterations is the Power Method iteration count (default 55).
 	ExactIterations int
 	// ExactMaxNodes is the Power Method's all-pairs memory guard
@@ -103,6 +109,10 @@ type Config struct {
 	SlingIndex *sling.Index
 	// ReadsIndex is the READS equivalent of SlingIndex.
 	ReadsIndex *reads.Index
+	// PRSimIndex is the PRSim equivalent of SlingIndex. Because PRSim
+	// caches tail tables lazily, a preloaded index may also carry warm
+	// tail entries from a previous process — they never change results.
+	PRSimIndex *prsim.Index
 
 	// Metrics selects the registry receiving this estimator's
 	// per-backend query counts, error/cancellation counts and latency
@@ -120,6 +130,7 @@ var registry = map[string]Builder{
 	"probesim": newProbeSim,
 	"sling":    newSLING,
 	"reads":    newREADS,
+	"prsim":    newPRSim,
 	"exact":    newExact,
 }
 

@@ -31,7 +31,7 @@ func testConfig() Config {
 }
 
 func TestNames(t *testing.T) {
-	want := []string{"crashsim", "exact", "probesim", "reads", "sling"}
+	want := []string{"crashsim", "exact", "probesim", "prsim", "reads", "sling"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -172,7 +172,7 @@ func TestAccuracyAgainstExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"crashsim", "probesim", "sling", "reads"} {
+	for _, name := range []string{"crashsim", "probesim", "sling", "reads", "prsim"} {
 		est, err := New(context.Background(), name, g, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

@@ -50,8 +50,17 @@ func TestPreloadedIndexBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	slP, rdP := slIx.Export(), rdIx.Export()
-	data, err := store.Encode(&store.Snapshot{Graph: g, Sling: &slP, Reads: &rdP})
+	prIx, err := BuildPRSimIndex(ctx, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm a few tail tables so the exported prsim payload carries lazy
+	// entries too, not just the eager hubs.
+	if _, err := prIx.SingleSource(0); err != nil {
+		t.Fatal(err)
+	}
+	slP, rdP, prP := slIx.Export(), rdIx.Export(), prIx.Export()
+	data, err := store.Encode(&store.Snapshot{Graph: g, Sling: &slP, Reads: &rdP, PRSim: &prP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,8 +75,11 @@ func TestPreloadedIndexBitIdentical(t *testing.T) {
 	if preCfg.ReadsIndex, err = snap.ImportReads(g); err != nil {
 		t.Fatal(err)
 	}
+	if preCfg.PRSimIndex, err = snap.ImportPRSim(g); err != nil {
+		t.Fatal(err)
+	}
 
-	for _, name := range []string{"sling", "reads"} {
+	for _, name := range []string{"sling", "reads", "prsim"} {
 		built, err := New(ctx, name, g, cfg)
 		if err != nil {
 			t.Fatalf("%s: building fresh: %v", name, err)
@@ -105,7 +117,10 @@ func TestPreloadRefusesWrongGraph(t *testing.T) {
 	if cfg.ReadsIndex, err = BuildReadsIndex(ctx, other, cfg); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"sling", "reads"} {
+	if cfg.PRSimIndex, err = BuildPRSimIndex(ctx, other, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sling", "reads", "prsim"} {
 		if _, err := New(ctx, name, g, cfg); err == nil ||
 			!strings.Contains(err.Error(), "serving graph") {
 			t.Fatalf("%s: New accepted an index built on another graph (err=%v)", name, err)
@@ -125,9 +140,12 @@ func TestPreloadRefusesWrongOptions(t *testing.T) {
 	if cfg.ReadsIndex, err = BuildReadsIndex(ctx, g, cfg); err != nil {
 		t.Fatal(err)
 	}
+	if cfg.PRSimIndex, err = BuildPRSimIndex(ctx, g, cfg); err != nil {
+		t.Fatal(err)
+	}
 	mismatched := cfg
 	mismatched.Seed = 999
-	for _, name := range []string{"sling", "reads"} {
+	for _, name := range []string{"sling", "reads", "prsim"} {
 		if _, err := New(ctx, name, g, mismatched); err == nil ||
 			!strings.Contains(err.Error(), "config asks for") {
 			t.Fatalf("%s: New accepted an index with mismatched options (err=%v)", name, err)
@@ -136,7 +154,7 @@ func TestPreloadRefusesWrongOptions(t *testing.T) {
 	// Workers is a runtime knob: changing it must NOT invalidate an index.
 	workers := cfg
 	workers.Workers = 7
-	for _, name := range []string{"sling", "reads"} {
+	for _, name := range []string{"sling", "reads", "prsim"} {
 		if _, err := New(ctx, name, g, workers); err != nil {
 			t.Fatalf("%s: Workers change invalidated a preloaded index: %v", name, err)
 		}

@@ -55,7 +55,7 @@ func TestBuildHubSelection(t *testing.T) {
 	cutoff := degs[19]
 	built := 0
 	for v := graph.NodeID(0); v < 200; v++ {
-		if ix.built[v] {
+		if ix.tables[v].Load() != nil {
 			built++
 			if g.InDegree(v) < cutoff {
 				t.Errorf("node %d (deg %d) indexed but below hub cutoff %d", v, g.InDegree(v), cutoff)

@@ -1,0 +1,177 @@
+package prsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"crashsim/internal/graph"
+)
+
+// Serialization support for the persistent index store (internal/store).
+//
+// A PRSim index's persistable state is the set of published tables —
+// the eager hub tables plus whatever tail tables earlier queries have
+// cached — and each table's d value. The hub set itself is NOT
+// persisted: it is a deterministic function of (graph, HubFraction)
+// and Import recomputes it with the same selectHubs call Build uses,
+// so a loaded index attributes hub hits exactly as the exported one
+// did. Because every table is a pure function of (g, opt, w), a loaded
+// index answers every query bit-identically to the index it was
+// exported from, and any table missing from the payload is simply
+// rebuilt lazily on first visit.
+
+// Payload is the flat, serialization-shaped view of an Index. The
+// store layer owns the byte encoding; this type only fixes what must
+// be persisted.
+type Payload struct {
+	// Opt is the defaulted build configuration. Workers is a runtime
+	// knob with no effect on the built index and is not preserved.
+	Opt Options
+	// TableLevels[v] is the number of stored levels of node v's table,
+	// or -1 if v's table was never built. LevelCounts concatenates the
+	// per-level entry counts of built tables in node order; Origins and
+	// Probs concatenate the level entries in the same order, each level
+	// sorted by origin ascending. D holds one d(w) per built table, in
+	// node order.
+	TableLevels []int32
+	LevelCounts []int32
+	Origins     []graph.NodeID
+	Probs       []float64
+	D           []float64
+}
+
+// Export returns the index's persistable state: every table published
+// so far (eager hubs and lazily cached tails alike). The returned
+// slices are freshly allocated and do not alias the index; concurrent
+// queries may keep publishing tables during the export — each table is
+// snapshotted atomically, so the payload is a consistent prefix.
+func (ix *Index) Export() Payload {
+	n := ix.g.NumNodes()
+	p := Payload{
+		Opt:         ix.opt,
+		TableLevels: make([]int32, n),
+	}
+	p.Opt.Workers = 0
+	for v := 0; v < n; v++ {
+		t := ix.tables[v].Load()
+		if t == nil {
+			p.TableLevels[v] = -1
+			continue
+		}
+		p.TableLevels[v] = int32(t.levels())
+		for l := 0; l < t.levels(); l++ {
+			p.LevelCounts = append(p.LevelCounts, t.off[l+1]-t.off[l])
+		}
+		p.Origins = append(p.Origins, t.origins...)
+		p.Probs = append(p.Probs, t.probs...)
+		p.D = append(p.D, t.d)
+	}
+	return p
+}
+
+// Import reconstructs an Index over g from an exported payload. The
+// payload is treated as untrusted: level structure, origins and
+// probabilities are range-checked before any table is published. The
+// hub set is recomputed from (g, HubFraction) rather than trusted from
+// the payload. g must be the graph the index was built on; the store
+// layer enforces that identity by graph version before calling Import.
+func Import(g *graph.Graph, p Payload) (*Index, error) {
+	o := p.Opt.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("prsim: import: %w", err)
+	}
+	n := g.NumNodes()
+	if len(p.TableLevels) != n {
+		return nil, fmt.Errorf("prsim: import: payload sized for %d nodes, graph has %d", len(p.TableLevels), n)
+	}
+	built, levelTotal := 0, 0
+	for v, lv := range p.TableLevels {
+		switch {
+		case lv == -1:
+			continue
+		case lv < 0 || int(lv) > o.MaxDepth:
+			return nil, fmt.Errorf("prsim: import: node %d has %d levels outside [-1,%d]", v, lv, o.MaxDepth)
+		}
+		built++
+		levelTotal += int(lv)
+	}
+	if len(p.LevelCounts) != levelTotal {
+		return nil, fmt.Errorf("prsim: import: %d level counts, tables declare %d levels", len(p.LevelCounts), levelTotal)
+	}
+	if len(p.D) != built {
+		return nil, fmt.Errorf("prsim: import: %d d values for %d built tables", len(p.D), built)
+	}
+	entryTotal := 0
+	for i, c := range p.LevelCounts {
+		if c < 1 {
+			return nil, fmt.Errorf("prsim: import: level %d has non-positive entry count %d", i, c)
+		}
+		entryTotal += int(c)
+	}
+	if len(p.Origins) != entryTotal || len(p.Probs) != entryTotal {
+		return nil, fmt.Errorf("prsim: import: entry columns have %d/%d values, level counts sum to %d",
+			len(p.Origins), len(p.Probs), entryTotal)
+	}
+
+	ix := &Index{
+		g:      g,
+		opt:    o,
+		sc:     math.Sqrt(o.C),
+		tables: make([]atomic.Pointer[table], n),
+		eager:  make([]bool, n),
+		calls:  make(map[graph.NodeID]*sync.WaitGroup),
+	}
+	if o.Iterations > 0 {
+		ix.nq = o.Iterations
+	} else {
+		ix.nq = int(math.Ceil(3 * o.C / (o.Eps * o.Eps) * math.Log(float64(n)/o.Delta)))
+	}
+	hubs := selectHubs(g, int(o.HubFraction*float64(n)))
+	ix.hubs = len(hubs)
+	for _, w := range hubs {
+		ix.eager[w] = true
+	}
+
+	level, entry, di := 0, 0, 0
+	for v := 0; v < n; v++ {
+		lv := int(p.TableLevels[v])
+		if lv == -1 {
+			continue
+		}
+		t := &table{off: make([]int32, 1, lv+1)}
+		count := 0
+		for l := 0; l < lv; l++ {
+			count += int(p.LevelCounts[level])
+			level++
+			t.off = append(t.off, int32(count))
+		}
+		t.origins = p.Origins[entry : entry+count : entry+count]
+		t.probs = p.Probs[entry : entry+count : entry+count]
+		entry += count
+		for l := 0; l < lv; l++ {
+			prev := graph.NodeID(-1)
+			for i := t.off[l]; i < t.off[l+1]; i++ {
+				org, prob := t.origins[i], t.probs[i]
+				if org < 0 || int(org) >= n {
+					return nil, fmt.Errorf("prsim: import: node %d level %d references out-of-range origin %d", v, l+1, org)
+				}
+				if org <= prev {
+					return nil, fmt.Errorf("prsim: import: node %d level %d origins not strictly ascending at %d", v, l+1, org)
+				}
+				prev = org
+				if prob <= 0 || prob >= 1 || math.IsNaN(prob) {
+					return nil, fmt.Errorf("prsim: import: node %d level %d origin %d has probability %v outside (0,1)", v, l+1, org, prob)
+				}
+			}
+		}
+		t.d = p.D[di]
+		di++
+		if t.d < 0 || t.d > 1 || math.IsNaN(t.d) {
+			return nil, fmt.Errorf("prsim: import: d(%d) = %v outside [0,1]", v, t.d)
+		}
+		ix.publish(graph.NodeID(v), t)
+	}
+	return ix, nil
+}

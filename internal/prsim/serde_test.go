@@ -1,0 +1,131 @@
+package prsim
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crashsim/internal/graph"
+)
+
+// TestPayloadRoundTrip: an index warmed with lazy tail entries must
+// export, import, and then answer every query bit-identically to the
+// original — including hub attribution, which Import recomputes from
+// the graph rather than trusting from the payload.
+func TestPayloadRoundTrip(t *testing.T) {
+	g := testGraph(t, 140, 800, 21)
+	ix, err := Build(g, Options{HubFraction: 0.1, Iterations: 60, DSamples: 25, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 20; u++ { // warm: payload must carry tail tables too
+		if _, err := ix.SingleSource(graph.NodeID(u)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := ix.Export()
+	if p.Opt.Workers != 0 {
+		t.Errorf("exported Workers = %d, want 0 (runtime knob)", p.Opt.Workers)
+	}
+	loaded, err := Import(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.HubCount() != ix.HubCount() {
+		t.Errorf("HubCount = %d after import, want %d", loaded.HubCount(), ix.HubCount())
+	}
+	if loaded.IndexEntries() != ix.IndexEntries() {
+		t.Errorf("IndexEntries = %d after import, want %d", loaded.IndexEntries(), ix.IndexEntries())
+	}
+	for u := 0; u < g.NumNodes(); u += 7 {
+		want, err := ix.SingleSource(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.SingleSource(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("SingleSource(%d) differs between original and imported index", u)
+		}
+	}
+	// A second export must reproduce the payload exactly (same tables,
+	// plus whatever tails the verification queries above added — rebuilt
+	// identically because tables are pure functions of (g, opt, w)).
+	if !reflect.DeepEqual(loaded.Export(), ix.Export()) {
+		t.Fatal("re-export after round trip differs from original export")
+	}
+}
+
+// TestImportRejectsCorruptPayloads: every structural invariant the
+// loader checks, violated one at a time on an otherwise valid payload.
+func TestImportRejectsCorruptPayloads(t *testing.T) {
+	g := testGraph(t, 100, 600, 31)
+	ix, err := Build(g, Options{HubFraction: 0.1, Iterations: 40, DSamples: 20, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.SingleSource(0); err != nil {
+		t.Fatal(err)
+	}
+	base := ix.Export()
+	clone := func() Payload {
+		p := base
+		p.TableLevels = append([]int32(nil), base.TableLevels...)
+		p.LevelCounts = append([]int32(nil), base.LevelCounts...)
+		p.Origins = append([]graph.NodeID(nil), base.Origins...)
+		p.Probs = append([]float64(nil), base.Probs...)
+		p.D = append([]float64(nil), base.D...)
+		return p
+	}
+	firstBuilt := -1
+	for v, lv := range base.TableLevels {
+		if lv != -1 {
+			firstBuilt = v
+			break
+		}
+	}
+	if firstBuilt < 0 || len(base.LevelCounts) == 0 || len(base.Origins) < 2 {
+		t.Fatal("exported payload too small to corrupt meaningfully")
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(*Payload)
+		wantErr string
+	}{
+		{"bad options", func(p *Payload) { p.Opt.C = 9 }, "decay factor"},
+		{"wrong node count", func(p *Payload) { p.TableLevels = p.TableLevels[:10] }, "sized for"},
+		{"levels above max depth", func(p *Payload) { p.TableLevels[firstBuilt] = int32(base.Opt.MaxDepth) + 1 }, "levels outside"},
+		{"levels below -1", func(p *Payload) { p.TableLevels[firstBuilt] = -2 }, "levels outside"},
+		{"level count mismatch", func(p *Payload) { p.LevelCounts = p.LevelCounts[:len(p.LevelCounts)-1] }, "tables declare"},
+		{"non-positive level count", func(p *Payload) { p.LevelCounts[0] = 0 }, "entry count"},
+		{"entry column mismatch", func(p *Payload) { p.Origins = p.Origins[:len(p.Origins)-1] }, "entry columns"},
+		{"d count mismatch", func(p *Payload) { p.D = p.D[:len(p.D)-1] }, "d values"},
+		{"origin out of range", func(p *Payload) { p.Origins[0] = graph.NodeID(g.NumNodes()) }, "out-of-range origin"},
+		{"origins not ascending", func(p *Payload) { p.Origins[0], p.Origins[1] = p.Origins[1], p.Origins[0] }, "strictly ascending"},
+		{"probability at 1", func(p *Payload) { p.Probs[0] = 1 }, "outside (0,1)"},
+		{"probability NaN", func(p *Payload) { p.Probs[0] = math.NaN() }, "outside (0,1)"},
+		{"d above 1", func(p *Payload) { p.D[0] = 1.5 }, "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		p := clone()
+		tc.corrupt(&p)
+		if _, err := Import(g, p); err == nil {
+			t.Errorf("%s: corrupt payload accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// The ascending-origins check is per level: swapping the last entry
+	// of one level with the first of the next keeps each column sorted
+	// only if the loader wrongly checked globally. Covered above via
+	// index 0/1 when they share a level; also confirm the pristine clone
+	// still imports, proving the corruptions (not the harness) fail.
+	if _, err := Import(g, clone()); err != nil {
+		t.Fatalf("pristine clone rejected: %v", err)
+	}
+}

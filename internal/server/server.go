@@ -62,6 +62,7 @@ import (
 	"crashsim/internal/graph"
 	"crashsim/internal/metrics"
 	"crashsim/internal/obs"
+	"crashsim/internal/prsim"
 	"crashsim/internal/reads"
 	"crashsim/internal/sling"
 )
@@ -121,12 +122,16 @@ type Config struct {
 	// counters (walks, pool traffic, prune rates) so /metrics shows
 	// the whole serving stack in one snapshot.
 	Metrics *obs.Registry
-	// SlingIndex / ReadsIndex optionally hand the matching index-based
-	// backend a preloaded index (from an internal/store snapshot)
-	// instead of paying the build in New; see engine.Config. Ignored by
-	// other backends.
+	// SlingIndex / ReadsIndex / PRSimIndex optionally hand the matching
+	// index-based backend a preloaded index (from an internal/store
+	// snapshot) instead of paying the build in New; see engine.Config.
+	// Ignored by other backends.
 	SlingIndex *sling.Index
 	ReadsIndex *reads.Index
+	PRSimIndex *prsim.Index
+	// HubFraction is the prsim backend's eagerly indexed node fraction
+	// (0 = the backend default).
+	HubFraction float64
 }
 
 // Server is an http.Handler answering SimRank queries.
@@ -208,6 +213,7 @@ func New(cfg Config) (*Server, error) {
 		Iterations: cfg.Params.Iterations, Workers: cfg.Params.Workers,
 		Seed: cfg.Params.Seed, Metrics: cfg.Metrics,
 		SlingIndex: cfg.SlingIndex, ReadsIndex: cfg.ReadsIndex,
+		PRSimIndex: cfg.PRSimIndex, HubFraction: cfg.HubFraction,
 	}
 	est, err := engine.New(context.Background(), cfg.Algo, cfg.Graph, ecfg)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"crashsim/internal/graph"
+	"crashsim/internal/prsim"
 	"crashsim/internal/reads"
 	"crashsim/internal/sling"
 )
@@ -199,6 +200,34 @@ func decodeReads(payload []byte, graphVersion uint64) (*reads.Payload, error) {
 	return &p, nil
 }
 
+func decodePRSim(payload []byte, graphVersion uint64) (*prsim.Payload, error) {
+	d := &dec{b: payload}
+	gv := d.u64("prsim graph version")
+	var p prsim.Payload
+	p.Opt.C = d.f64("prsim C")
+	p.Opt.Eps = d.f64("prsim Eps")
+	p.Opt.Delta = d.f64("prsim Delta")
+	p.Opt.HubFraction = d.f64("prsim HubFraction")
+	p.Opt.Iterations = int(d.u32("prsim Iterations"))
+	p.Opt.MaxDepth = int(d.u32("prsim MaxDepth"))
+	p.Opt.Prune = d.f64("prsim Prune")
+	p.Opt.DSamples = int(d.u32("prsim DSamples"))
+	p.Opt.Seed = d.u64("prsim Seed")
+	p.TableLevels = d.i32s("prsim table levels")
+	p.LevelCounts = d.i32s("prsim level counts")
+	p.Origins = d.nodes("prsim origins")
+	p.Probs = d.f64s("prsim probs")
+	p.D = d.f64s("prsim d values")
+	if err := d.done(SecPRSim); err != nil {
+		return nil, err
+	}
+	if gv != graphVersion {
+		return nil, fmt.Errorf("%w: prsim section built for graph %#x, snapshot graph is %#x",
+			ErrVersionMismatch, gv, graphVersion)
+	}
+	return &p, nil
+}
+
 // Decode parses and fully verifies a snapshot image: magic, format
 // version, section-table bounds, and every section's CRC are checked
 // before any payload is decoded, and each decoded section is validated
@@ -261,6 +290,11 @@ func Decode(data []byte) (*Snapshot, error) {
 	}
 	if rp, ok := payloads[SecReads]; ok {
 		if s.Reads, err = decodeReads(rp, graphVersion); err != nil {
+			return nil, err
+		}
+	}
+	if pp, ok := payloads[SecPRSim]; ok {
+		if s.PRSim, err = decodePRSim(pp, graphVersion); err != nil {
 			return nil, err
 		}
 	}

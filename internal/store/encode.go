@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"crashsim/internal/graph"
+	"crashsim/internal/prsim"
 	"crashsim/internal/reads"
 	"crashsim/internal/sling"
 )
@@ -115,6 +116,26 @@ func encodeReads(graphVersion uint64, p *reads.Payload) []byte {
 	return e.buf.Bytes()
 }
 
+func encodePRSim(graphVersion uint64, p *prsim.Payload) []byte {
+	var e enc
+	e.u64(graphVersion)
+	e.f64(p.Opt.C)
+	e.f64(p.Opt.Eps)
+	e.f64(p.Opt.Delta)
+	e.f64(p.Opt.HubFraction)
+	e.u32(uint32(p.Opt.Iterations))
+	e.u32(uint32(p.Opt.MaxDepth))
+	e.f64(p.Opt.Prune)
+	e.u32(uint32(p.Opt.DSamples))
+	e.u64(p.Opt.Seed)
+	e.i32s(p.TableLevels)
+	e.i32s(p.LevelCounts)
+	e.nodes(p.Origins)
+	e.f64s(p.Probs)
+	e.f64s(p.D)
+	return e.buf.Bytes()
+}
+
 // Encode serializes a snapshot to the on-disk format. The graph is
 // required; index sections are written only if their payloads are set.
 func Encode(s *Snapshot) ([]byte, error) {
@@ -139,6 +160,9 @@ func Encode(s *Snapshot) ([]byte, error) {
 	}
 	if s.Reads != nil {
 		sections = append(sections, section{SecReads, encodeReads(gv, s.Reads)})
+	}
+	if s.PRSim != nil {
+		sections = append(sections, section{SecPRSim, encodePRSim(gv, s.PRSim)})
 	}
 
 	var e enc

@@ -21,6 +21,7 @@
 //	"meta"   JSON dataset metadata (required)
 //	"sling"  a sling.Payload, prefixed by its graph version
 //	"reads"  a reads.Payload, prefixed by its graph version
+//	"prsim"  a prsim.Payload, prefixed by its graph version
 //
 // Invariants enforced by the loader:
 //
@@ -42,6 +43,7 @@ import (
 	"strings"
 
 	"crashsim/internal/graph"
+	"crashsim/internal/prsim"
 	"crashsim/internal/reads"
 	"crashsim/internal/sling"
 )
@@ -60,6 +62,7 @@ const (
 	SecMeta  = "meta"
 	SecSling = "sling"
 	SecReads = "reads"
+	SecPRSim = "prsim"
 )
 
 // Typed loader failures. Every way a snapshot can be unusable maps to
@@ -107,6 +110,7 @@ type Snapshot struct {
 	Meta  Meta
 	Sling *sling.Payload
 	Reads *reads.Payload
+	PRSim *prsim.Payload
 }
 
 // ImportSling reconstructs the snapshot's SLING index over g, refusing
@@ -134,6 +138,21 @@ func (s *Snapshot) ImportReads(g *graph.Graph) (*reads.Index, error) {
 			ErrVersionMismatch, s.Graph.Version(), g.Version())
 	}
 	return reads.Import(g, *s.Reads)
+}
+
+// ImportPRSim reconstructs the snapshot's PRSim hub index over g,
+// refusing with ErrVersionMismatch if g is not the graph the index was
+// built on. The loaded index carries every table the exporting process
+// had published — eager hubs plus warm tail caches.
+func (s *Snapshot) ImportPRSim(g *graph.Graph) (*prsim.Index, error) {
+	if s.PRSim == nil {
+		return nil, fmt.Errorf("%w: %s", ErrMissingSection, SecPRSim)
+	}
+	if g.Version() != s.Graph.Version() {
+		return nil, fmt.Errorf("%w: snapshot graph %#x, target graph %#x",
+			ErrVersionMismatch, s.Graph.Version(), g.Version())
+	}
+	return prsim.Import(g, *s.PRSim)
 }
 
 // SnapshotPath maps a dataset spec and index algorithm to a stable file

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"crashsim/internal/graph"
+	"crashsim/internal/prsim"
 	"crashsim/internal/reads"
 	"crashsim/internal/sling"
 )
@@ -30,9 +31,9 @@ func testGraph(t *testing.T) *graph.Graph {
 	return g
 }
 
-// testSnapshot builds a graph plus SLING and READS indexes over it and
-// wraps their exported payloads in a snapshot.
-func testSnapshot(t *testing.T) (*Snapshot, *sling.Index, *reads.Index) {
+// testSnapshot builds a graph plus SLING, READS and PRSim indexes over
+// it and wraps their exported payloads in a snapshot.
+func testSnapshot(t *testing.T) (*Snapshot, *sling.Index, *reads.Index, *prsim.Index) {
 	t.Helper()
 	g := testGraph(t)
 	slIx, err := sling.Build(g, sling.Options{Seed: 1, DSamples: 16})
@@ -49,14 +50,25 @@ func testSnapshot(t *testing.T) (*Snapshot, *sling.Index, *reads.Index) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	prIx, err := prsim.Build(g, prsim.Options{HubFraction: 0.25, Iterations: 60, DSamples: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch one source so the payload carries lazily cached tail tables
+	// alongside the eager hubs.
+	if _, err := prIx.SingleSource(0); err != nil {
+		t.Fatal(err)
+	}
 	slP := slIx.Export()
 	rdP := rdIx.Export()
+	prP := prIx.Export()
 	return &Snapshot{
 		Graph: g,
 		Meta:  Meta{Dataset: "unit-test", Tool: "store_test", CreatedUnix: 1754600000},
 		Sling: &slP,
 		Reads: &rdP,
-	}, slIx, rdIx
+		PRSim: &prP,
+	}, slIx, rdIx, prIx
 }
 
 func encodeOK(t *testing.T, s *Snapshot) []byte {
@@ -90,7 +102,7 @@ func sectionEntry(t *testing.T, data []byte, name string) (entryOff, payloadOff,
 }
 
 func TestRoundTripBitIdentical(t *testing.T) {
-	snap, slIx, rdIx := testSnapshot(t)
+	snap, slIx, rdIx, prIx := testSnapshot(t)
 	got, err := Decode(encodeOK(t, snap))
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +123,9 @@ func TestRoundTripBitIdentical(t *testing.T) {
 	if !reflect.DeepEqual(got.Reads, snap.Reads) {
 		t.Fatal("reads payload did not round-trip")
 	}
+	if !reflect.DeepEqual(got.PRSim, snap.PRSim) {
+		t.Fatal("prsim payload did not round-trip")
+	}
 
 	// The loaded indexes must answer exactly what the built ones answer:
 	// same keys, bit-identical float64s.
@@ -121,6 +136,13 @@ func TestRoundTripBitIdentical(t *testing.T) {
 	rdLoaded, err := got.ImportReads(got.Graph)
 	if err != nil {
 		t.Fatal(err)
+	}
+	prLoaded, err := got.ImportPRSim(got.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prLoaded.HubCount() != prIx.HubCount() {
+		t.Fatalf("loaded prsim hub count %d, want %d", prLoaded.HubCount(), prIx.HubCount())
 	}
 	for u := 0; u < got.Graph.NumNodes(); u++ {
 		want, err := slIx.SingleSource(graph.NodeID(u))
@@ -145,11 +167,22 @@ func TestRoundTripBitIdentical(t *testing.T) {
 		if !reflect.DeepEqual(want, have) {
 			t.Fatalf("reads SingleSource(%d) differs between built and loaded index", u)
 		}
+		want, err = prIx.SingleSource(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err = prLoaded.SingleSource(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("prsim SingleSource(%d) differs between built and loaded index", u)
+		}
 	}
 }
 
 func TestWriteLoadFile(t *testing.T) {
-	snap, _, _ := testSnapshot(t)
+	snap, _, _, _ := testSnapshot(t)
 	path := filepath.Join(t.TempDir(), "test.snap")
 	if err := Write(path, snap); err != nil {
 		t.Fatal(err)
@@ -158,9 +191,9 @@ func TestWriteLoadFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Graph.Version() != snap.Graph.Version() || got.Sling == nil || got.Reads == nil {
-		t.Fatalf("loaded snapshot incomplete: version %#x, sling %v, reads %v",
-			got.Graph.Version(), got.Sling != nil, got.Reads != nil)
+	if got.Graph.Version() != snap.Graph.Version() || got.Sling == nil || got.Reads == nil || got.PRSim == nil {
+		t.Fatalf("loaded snapshot incomplete: version %#x, sling %v, reads %v, prsim %v",
+			got.Graph.Version(), got.Sling != nil, got.Reads != nil, got.PRSim != nil)
 	}
 	if _, err := Load(filepath.Join(t.TempDir(), "absent.snap")); err == nil {
 		t.Fatal("loading an absent file succeeded")
@@ -171,7 +204,7 @@ func TestWriteLoadFile(t *testing.T) {
 // must fail with its designated sentinel and must never yield a
 // snapshot object.
 func TestCorruptionMatrix(t *testing.T) {
-	snap, _, _ := testSnapshot(t)
+	snap, _, _, _ := testSnapshot(t)
 	pristine := encodeOK(t, snap)
 
 	check := func(t *testing.T, data []byte, want error) {
@@ -210,7 +243,7 @@ func TestCorruptionMatrix(t *testing.T) {
 	t.Run("truncated payload", func(t *testing.T) {
 		check(t, pristine[:len(pristine)-3], ErrTruncated)
 	})
-	for _, sec := range []string{SecGraph, SecMeta, SecSling, SecReads} {
+	for _, sec := range []string{SecGraph, SecMeta, SecSling, SecReads, SecPRSim} {
 		t.Run("bit flip in "+sec, func(t *testing.T) {
 			check(t, mutate(func(d []byte) []byte {
 				_, off, length := sectionEntry(t, d, sec)
@@ -250,7 +283,7 @@ func TestCorruptionMatrix(t *testing.T) {
 }
 
 func TestImportRefusesWrongGraph(t *testing.T) {
-	snap, _, _ := testSnapshot(t)
+	snap, _, _, _ := testSnapshot(t)
 	got, err := Decode(encodeOK(t, snap))
 	if err != nil {
 		t.Fatal(err)
@@ -262,11 +295,14 @@ func TestImportRefusesWrongGraph(t *testing.T) {
 	if _, err := got.ImportReads(other); !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("ImportReads(other graph) error = %v, want ErrVersionMismatch", err)
 	}
+	if _, err := got.ImportPRSim(other); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("ImportPRSim(other graph) error = %v, want ErrVersionMismatch", err)
+	}
 }
 
 func TestImportMissingSection(t *testing.T) {
-	snap, _, _ := testSnapshot(t)
-	snap.Sling, snap.Reads = nil, nil
+	snap, _, _, _ := testSnapshot(t)
+	snap.Sling, snap.Reads, snap.PRSim = nil, nil, nil
 	got, err := Decode(encodeOK(t, snap))
 	if err != nil {
 		t.Fatal(err)
@@ -276,6 +312,9 @@ func TestImportMissingSection(t *testing.T) {
 	}
 	if _, err := got.ImportReads(got.Graph); !errors.Is(err, ErrMissingSection) {
 		t.Fatalf("ImportReads error = %v, want ErrMissingSection", err)
+	}
+	if _, err := got.ImportPRSim(got.Graph); !errors.Is(err, ErrMissingSection) {
+		t.Fatalf("ImportPRSim error = %v, want ErrMissingSection", err)
 	}
 }
 
