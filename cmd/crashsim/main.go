@@ -29,6 +29,15 @@
 //	crashsim -profile hepth -scale 0.05 -algo sling -save-index hepth.snap -source 3
 //	crashsim -algo sling -load-index hepth.snap -source 3
 //	crashsim -algo sling -load-index hepth.snap -verify-index
+//
+// -mmap serves the snapshot zero-copy out of a read-only file mapping
+// (format v2) instead of decoding a private heap copy; combined with
+// -verify-index the mapped sections are checksummed and semantically
+// validated eagerly, so the command doubles as an integrity check of
+// the mapped path:
+//
+//	crashsim -algo sling -load-index hepth.snap -mmap -source 3
+//	crashsim -algo sling -load-index hepth.snap -mmap -verify-index
 package main
 
 import (
@@ -42,6 +51,9 @@ import (
 	"crashsim"
 	"crashsim/internal/engine"
 	"crashsim/internal/graph"
+	"crashsim/internal/prsim"
+	"crashsim/internal/reads"
+	"crashsim/internal/sling"
 	"crashsim/internal/store"
 )
 
@@ -71,6 +83,7 @@ func main() {
 		saveIndex    = flag.String("save-index", "", "build the index (sling/reads/prsim) and write a graph+index snapshot to this file")
 		loadIndex    = flag.String("load-index", "", "answer from a graph+index snapshot instead of building (no -graph/-profile needed)")
 		verifyIndex  = flag.Bool("verify-index", false, "with -load-index: rebuild from the snapshot's graph and require bit-identical scores")
+		useMmap      = flag.Bool("mmap", false, "with -load-index: serve zero-copy from a file mapping (v2 snapshots; eager verification when -verify-index is set)")
 		hubFraction  = flag.Float64("hub-fraction", 0, "prsim: fraction of nodes (by in-degree rank) indexed eagerly (0 = default 0.05)")
 	)
 	flag.Parse()
@@ -81,7 +94,7 @@ func main() {
 	switch {
 	case *saveIndex != "" || *loadIndex != "":
 		err = runIndexed(*graphFile, *profile, *scale, *source, *algo, *topk,
-			*saveIndex, *loadIndex, *verifyIndex, *hubFraction, opt)
+			*saveIndex, *loadIndex, *verifyIndex, *useMmap, *hubFraction, opt)
 	case *statsOnly:
 		err = runStats(*graphFile, *profile, *scale, opt.Seed)
 	case *temporalFile != "":
@@ -204,7 +217,7 @@ func runStatic(graphFile, profile string, scale float64, source int, algo string
 // from the snapshot itself — the graph travels inside it, so the
 // command is self-contained.
 func runIndexed(graphFile, profile string, scale float64, source int, algo string, topk int,
-	save, load string, verify bool, hubFraction float64, opt crashsim.Options) error {
+	save, load string, verify, useMmap bool, hubFraction float64, opt crashsim.Options) error {
 	if algo != "sling" && algo != "reads" && algo != "prsim" {
 		return fmt.Errorf("-save-index/-load-index need an index-based backend (sling, reads or prsim), got %q", algo)
 	}
@@ -213,6 +226,9 @@ func runIndexed(graphFile, profile string, scale float64, source int, algo strin
 	}
 	if verify && load == "" {
 		return fmt.Errorf("-verify-index needs -load-index")
+	}
+	if useMmap && load == "" {
+		return fmt.Errorf("-mmap needs -load-index")
 	}
 	ctx := context.Background()
 	ecfg := engine.Config{
@@ -224,45 +240,73 @@ func runIndexed(graphFile, profile string, scale float64, source int, algo strin
 	var g *crashsim.Graph
 	if load != "" {
 		start := time.Now()
-		snap, err := store.Load(load)
-		if err != nil {
-			return err
+		if useMmap {
+			policy := store.VerifyOnLoadSection
+			if verify {
+				policy = store.VerifyEager
+			}
+			mp, err := store.OpenMapped(load, store.MapOptions{Verify: policy})
+			if err != nil {
+				return err
+			}
+			g = mp.Graph()
+			fmt.Printf("snapshot %s: graph n=%d m=%d version=%#x (mapped %d bytes in %v, crc %s)\n",
+				load, g.NumNodes(), g.NumEdges(), g.Version(), mp.MappedBytes(),
+				time.Since(start).Round(time.Microsecond), policy)
+			importStart := time.Now()
+			switch algo {
+			case "sling":
+				ix, err := mp.ImportSling(g)
+				if err != nil {
+					return err
+				}
+				fillSling(&ecfg, ix)
+			case "reads":
+				ix, err := mp.ImportReads(g)
+				if err != nil {
+					return err
+				}
+				fillReads(&ecfg, ix)
+			case "prsim":
+				ix, err := mp.ImportPRSim(g)
+				if err != nil {
+					return err
+				}
+				fillPRSim(&ecfg, ix)
+			}
+			fmt.Printf("imported %s index in %v\n", algo, time.Since(importStart).Round(time.Microsecond))
+		} else {
+			snap, err := store.Load(load)
+			if err != nil {
+				return err
+			}
+			g = snap.Graph
+			fmt.Printf("snapshot %s: graph n=%d m=%d version=%#x (loaded in %v)\n",
+				load, g.NumNodes(), g.NumEdges(), g.Version(), time.Since(start).Round(time.Microsecond))
+			importStart := time.Now()
+			switch algo {
+			case "sling":
+				ix, err := snap.ImportSling(g)
+				if err != nil {
+					return err
+				}
+				fillSling(&ecfg, ix)
+			case "reads":
+				ix, err := snap.ImportReads(g)
+				if err != nil {
+					return err
+				}
+				fillReads(&ecfg, ix)
+			case "prsim":
+				ix, err := snap.ImportPRSim(g)
+				if err != nil {
+					return err
+				}
+				fillPRSim(&ecfg, ix)
+			}
+			fmt.Printf("imported %s index in %v\n", algo, time.Since(importStart).Round(time.Microsecond))
 		}
-		g = snap.Graph
-		fmt.Printf("snapshot %s: graph n=%d m=%d version=%#x (loaded in %v)\n",
-			load, g.NumNodes(), g.NumEdges(), g.Version(), time.Since(start).Round(time.Microsecond))
-		importStart := time.Now()
-		switch algo {
-		case "sling":
-			ix, err := snap.ImportSling(g)
-			if err != nil {
-				return err
-			}
-			ecfg.SlingIndex = ix
-			o := ix.Options()
-			ecfg.C, ecfg.Eps, ecfg.Seed = o.C, o.Eps, o.Seed
-			ecfg.SlingDSamples = o.DSamples
-		case "reads":
-			ix, err := snap.ImportReads(g)
-			if err != nil {
-				return err
-			}
-			ecfg.ReadsIndex = ix
-			o := ix.Options()
-			ecfg.C, ecfg.Seed = o.C, o.Seed
-			ecfg.ReadsR, ecfg.ReadsRQ = o.R, o.RQ
-		case "prsim":
-			ix, err := snap.ImportPRSim(g)
-			if err != nil {
-				return err
-			}
-			ecfg.PRSimIndex = ix
-			o := ix.Options()
-			ecfg.C, ecfg.Eps, ecfg.Delta, ecfg.Seed = o.C, o.Eps, o.Delta, o.Seed
-			ecfg.Iterations, ecfg.HubFraction, ecfg.PRSimDSamples = o.Iterations, o.HubFraction, o.DSamples
-		}
-		fmt.Printf("imported %s index in %v\n", algo, time.Since(importStart).Round(time.Microsecond))
-		if err := verifyLoaded(ctx, verify, algo, g, snap, ecfg); err != nil {
+		if err := verifyLoaded(ctx, verify, algo, g, ecfg); err != nil {
 			return err
 		}
 	} else {
@@ -326,12 +370,36 @@ func runIndexed(graphFile, profile string, scale float64, source int, algo strin
 	return nil
 }
 
+// fillSling/fillReads/fillPRSim adopt a loaded index into the engine
+// config together with the parameters recorded in its snapshot, so a
+// -load-index run answers with the snapshot's own settings.
+func fillSling(ecfg *engine.Config, ix *sling.Index) {
+	ecfg.SlingIndex = ix
+	o := ix.Options()
+	ecfg.C, ecfg.Eps, ecfg.Seed = o.C, o.Eps, o.Seed
+	ecfg.SlingDSamples = o.DSamples
+}
+
+func fillReads(ecfg *engine.Config, ix *reads.Index) {
+	ecfg.ReadsIndex = ix
+	o := ix.Options()
+	ecfg.C, ecfg.Seed = o.C, o.Seed
+	ecfg.ReadsR, ecfg.ReadsRQ = o.R, o.RQ
+}
+
+func fillPRSim(ecfg *engine.Config, ix *prsim.Index) {
+	ecfg.PRSimIndex = ix
+	o := ix.Options()
+	ecfg.C, ecfg.Eps, ecfg.Delta, ecfg.Seed = o.C, o.Eps, o.Delta, o.Seed
+	ecfg.Iterations, ecfg.HubFraction, ecfg.PRSimDSamples = o.Iterations, o.HubFraction, o.DSamples
+}
+
 // verifyLoaded rebuilds the index from the snapshot's own graph with
 // the snapshot's recorded parameters and insists every node's
 // single-source scores are bit-identical to the loaded index's — the
 // cross-process equivalence check CI runs against a snapshot built in
 // a separate step.
-func verifyLoaded(ctx context.Context, verify bool, algo string, g *crashsim.Graph, snap *store.Snapshot, ecfg engine.Config) error {
+func verifyLoaded(ctx context.Context, verify bool, algo string, g *crashsim.Graph, ecfg engine.Config) error {
 	if !verify {
 		return nil
 	}

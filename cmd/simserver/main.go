@@ -38,6 +38,18 @@
 // and writes the snapshot through for the next restart. A loaded index
 // is bit-identical to a rebuilt one (enforced by tests and
 // crashsim -verify-index), so warm restarts change startup time only.
+//
+// -mmap upgrades the warm restart to zero-copy: the snapshot is mapped
+// read-only (format v2) and the indexes serve straight out of the
+// kernel page cache, so startup touches O(1) pages, N servers on one
+// machine share one physical copy of the index, and -mmap-verify picks
+// the checksum policy (section: hash each section the first time it is
+// imported; eager: hash everything up front; none: trusted restart).
+// A v1 or otherwise unmappable snapshot falls back to the copying
+// loader, then to a rebuild. The startup line
+// "index load: mode=... wall=... mapped_bytes=..." records which path
+// ran; /metrics exports the same as store.mmap_opens,
+// store.mapped_bytes and store.crc_deferred/crc_verified.
 package main
 
 import (
@@ -86,6 +98,10 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/ (trusted ports only)")
 		indexDir = flag.String("index-dir", "",
 			"index snapshot directory: load the dataset's index from a snapshot instead of rebuilding, write one through after a rebuild (sling/reads/prsim backends)")
+		useMmap = flag.Bool("mmap", false,
+			"with -index-dir: serve the snapshot zero-copy from a read-only file mapping (page-cache backed, shared across processes) instead of decoding a heap copy")
+		mmapVerify = flag.String("mmap-verify", "section",
+			"mapped snapshot checksum policy: section (hash each section on first import), eager, or none (trusted restart)")
 		hubFraction = flag.Float64("hub-fraction", 0,
 			"prsim backend: fraction of nodes (by in-degree rank) indexed eagerly as hubs (0 = backend default 0.05)")
 	)
@@ -109,8 +125,13 @@ func main() {
 		HubFraction: *hubFraction,
 	}
 	if *indexDir != "" {
+		policy, err := parseVerifyPolicy(*mmapVerify)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
+			os.Exit(1)
+		}
 		spec := datasetSpec(*graphFile, *profile, *scale, *seed)
-		if err := setupIndex(&scfg, g, *indexDir, spec); err != nil {
+		if err := setupIndex(&scfg, g, *indexDir, spec, *useMmap, policy); err != nil {
 			fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
 			os.Exit(1)
 		}
@@ -179,12 +200,28 @@ func datasetSpec(graphFile, profile string, scale float64, seed uint64) string {
 	return fmt.Sprintf("%s@%g/%d", profile, scale, seed)
 }
 
+// parseVerifyPolicy maps the -mmap-verify flag to a store policy.
+func parseVerifyPolicy(s string) (store.VerifyPolicy, error) {
+	switch s {
+	case "section":
+		return store.VerifyOnLoadSection, nil
+	case "eager":
+		return store.VerifyEager, nil
+	case "none":
+		return store.VerifyNone, nil
+	default:
+		return 0, fmt.Errorf("unknown -mmap-verify policy %q (want section, eager, or none)", s)
+	}
+}
+
 // setupIndex implements the warm-restart path for index-based
-// backends: load the dataset's snapshot from dir if present and valid,
-// otherwise build the index now and write the snapshot through — in
-// both cases handing the prebuilt index to the server via Config, so
-// server.New never builds twice.
-func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string) error {
+// backends: map or load the dataset's snapshot from dir if present and
+// valid, otherwise build the index now and write the snapshot through
+// — in every case handing the prebuilt index to the server via Config,
+// so server.New never builds twice. One startup line records which
+// path ran: mode=mapped|copy|build, the load wall time, and the mapped
+// byte count (0 unless mapped).
+func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string, useMmap bool, policy store.VerifyPolicy) error {
 	if scfg.Algo != "sling" && scfg.Algo != "reads" && scfg.Algo != "prsim" {
 		log.Printf("index-dir: backend %q builds no persistent index; ignoring", scfg.Algo)
 		return nil
@@ -195,6 +232,10 @@ func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string) error 
 		Seed: scfg.Params.Seed, HubFraction: scfg.HubFraction,
 	}
 	path := store.SnapshotPath(dir, spec, scfg.Algo)
+	if useMmap && setupMapped(scfg, g, path, policy) {
+		return nil
+	}
+	loadStart := time.Now()
 	if snap, err := store.Load(path); err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
 			log.Printf("index snapshot %s unusable (%v); rebuilding", path, err)
@@ -203,7 +244,6 @@ func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string) error 
 		log.Printf("index snapshot %s was built for graph %#x, dataset is %#x; rebuilding",
 			path, snap.Graph.Version(), g.Version())
 	} else {
-		start := time.Now()
 		switch scfg.Algo {
 		case "sling":
 			scfg.SlingIndex, err = snap.ImportSling(g)
@@ -215,7 +255,8 @@ func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string) error 
 		if err != nil {
 			log.Printf("index snapshot %s rejected (%v); rebuilding", path, err)
 		} else {
-			log.Printf("warm restart: loaded %s index from %s in %v", scfg.Algo, path, time.Since(start).Round(time.Millisecond))
+			log.Printf("index load: mode=copy algo=%s wall=%v mapped_bytes=0 path=%s",
+				scfg.Algo, time.Since(loadStart).Round(time.Millisecond), path)
 			return nil
 		}
 	}
@@ -251,7 +292,8 @@ func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string) error 
 	if err != nil {
 		return fmt.Errorf("building %s index: %w", scfg.Algo, err)
 	}
-	log.Printf("built %s index in %v", scfg.Algo, time.Since(start).Round(time.Millisecond))
+	log.Printf("index load: mode=build algo=%s wall=%v mapped_bytes=0 path=%s",
+		scfg.Algo, time.Since(start).Round(time.Millisecond), path)
 	if err := store.Write(path, snap); err != nil {
 		// A failed write-through costs the next restart, not this one.
 		log.Printf("index snapshot write-through failed: %v", err)
@@ -259,6 +301,44 @@ func setupIndex(scfg *server.Config, g *crashsim.Graph, dir, spec string) error 
 		log.Printf("wrote index snapshot %s for the next restart", path)
 	}
 	return nil
+}
+
+// setupMapped attempts the zero-copy restart: map the snapshot, gate
+// it on the dataset's graph version, and import the backend's index
+// aliasing the mapping. Returns false on any miss — the caller falls
+// back to the copying loader, then to a rebuild. The Mapped handle is
+// closed before returning; imported indexes hold their own mapping
+// references until server shutdown.
+func setupMapped(scfg *server.Config, g *crashsim.Graph, path string, policy store.VerifyPolicy) bool {
+	start := time.Now()
+	mp, err := store.OpenMapped(path, store.MapOptions{Verify: policy})
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("index snapshot %s not mappable (%v); trying the copying loader", path, err)
+		}
+		return false
+	}
+	defer mp.Close()
+	if mp.GraphVersion() != g.Version() {
+		log.Printf("index snapshot %s was built for graph %#x, dataset is %#x; rebuilding",
+			path, mp.GraphVersion(), g.Version())
+		return false
+	}
+	switch scfg.Algo {
+	case "sling":
+		scfg.SlingIndex, err = mp.ImportSling(g)
+	case "reads":
+		scfg.ReadsIndex, err = mp.ImportReads(g)
+	case "prsim":
+		scfg.PRSimIndex, err = mp.ImportPRSim(g)
+	}
+	if err != nil {
+		log.Printf("index snapshot %s rejected (%v); trying the copying loader", path, err)
+		return false
+	}
+	log.Printf("index load: mode=mapped algo=%s wall=%v mapped_bytes=%d crc=%s path=%s",
+		scfg.Algo, time.Since(start).Round(time.Millisecond), mp.MappedBytes(), policy, path)
+	return true
 }
 
 func load(graphFile, profile string, scale float64, seed uint64) (*crashsim.Graph, error) {

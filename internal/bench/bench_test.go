@@ -339,7 +339,7 @@ func TestStoreQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 5 * 2; len(cmp.Results) != want { // 5 datasets × {sling, reads}
+	if want := 6 * 2; len(cmp.Results) != want { // 5 Table III datasets + web-1m, × {sling, reads}
 		t.Fatalf("store produced %d rows, want %d", len(cmp.Results), want)
 	}
 	for _, r := range cmp.Results {
@@ -349,9 +349,18 @@ func TestStoreQuick(t *testing.T) {
 		if r.BuildMS <= 0 || r.SaveMS <= 0 || r.LoadMS <= 0 || r.Bytes <= 0 {
 			t.Errorf("%s/%s: non-positive measurement %+v", r.Dataset, r.Algo, r)
 		}
+		if r.MappedLoadMS <= 0 || r.CopyFirstQueryMS <= 0 || r.MappedFirstQueryMS <= 0 {
+			t.Errorf("%s/%s: non-positive mapped measurement %+v", r.Dataset, r.Algo, r)
+		}
+		if r.MappedSpeedup <= 0 || math.IsNaN(r.MappedSpeedup) {
+			t.Errorf("%s/%s: mapped speedup = %g", r.Dataset, r.Algo, r.MappedSpeedup)
+		}
 	}
 	if cmp.GeoMeanSpeedup <= 0 || math.IsNaN(cmp.GeoMeanSpeedup) {
 		t.Errorf("geomean speedup = %g", cmp.GeoMeanSpeedup)
+	}
+	if cmp.GeoMeanMappedSpeedup <= 0 || math.IsNaN(cmp.GeoMeanMappedSpeedup) {
+		t.Errorf("geomean mapped speedup = %g", cmp.GeoMeanMappedSpeedup)
 	}
 	if len(rep.Rows) != len(cmp.Results) {
 		t.Error("report row count mismatch")
@@ -361,7 +370,9 @@ func TestStoreQuick(t *testing.T) {
 	if err := (&KernelComparison{Store: cmp}).WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{`"store"`, `"build_ms"`, `"load_ms"`, `"geomean_speedup"`} {
+	for _, key := range []string{`"store"`, `"build_ms"`, `"load_ms"`, `"geomean_speedup"`,
+		`"mapped_load_ms"`, `"copy_first_query_ms"`, `"mapped_first_query_ms"`, `"mapped_speedup"`,
+		`"geomean_mapped_speedup"`} {
 		if !strings.Contains(buf.String(), key) {
 			t.Errorf("JSON missing %s", key)
 		}

@@ -52,6 +52,13 @@ func Check(baseline, fresh *KernelComparison, tolerance float64) ([]CheckRow, *R
 		{"store", geo(baseline.Store != nil, func() float64 { return baseline.Store.GeoMeanSpeedup }),
 			geo(fresh.Store != nil, func() float64 { return fresh.Store.GeoMeanSpeedup }),
 			baseline.Store != nil, fresh.Store != nil},
+		// store-mapped gates the mmap rung (copy vs mapped time to first
+		// query). Presence requires a positive value: baselines recorded
+		// before the rung existed carry 0 and are skipped, not failed.
+		{"store-mapped", geo(baseline.Store != nil, func() float64 { return baseline.Store.GeoMeanMappedSpeedup }),
+			geo(fresh.Store != nil, func() float64 { return fresh.Store.GeoMeanMappedSpeedup }),
+			baseline.Store != nil && baseline.Store.GeoMeanMappedSpeedup > 0,
+			fresh.Store != nil && fresh.Store.GeoMeanMappedSpeedup > 0},
 		{"prsim", geo(baseline.PRSim != nil, func() float64 { return baseline.PRSim.GeoMeanSpeedup }),
 			geo(fresh.PRSim != nil, func() float64 { return fresh.PRSim.GeoMeanSpeedup }),
 			baseline.PRSim != nil, fresh.PRSim != nil},

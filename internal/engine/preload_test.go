@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -101,6 +102,82 @@ func TestPreloadedIndexBitIdentical(t *testing.T) {
 				t.Fatalf("%s: SingleSource(%d) differs between built and loaded index", name, u)
 			}
 		}
+	}
+}
+
+// TestPreloadedMappedIndexBitIdentical is the mmap flavour of the
+// restart guarantee: estimators over indexes imported from a read-only
+// file mapping (store.OpenMapped, arrays aliasing the page cache) must
+// answer bit-identically to estimators that built the index in-process.
+func TestPreloadedMappedIndexBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	g := preloadGraph(t)
+	cfg := preloadConfig()
+
+	slIx, err := BuildSlingIndex(ctx, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdIx, err := BuildReadsIndex(ctx, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prIx, err := BuildPRSimIndex(ctx, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prIx.SingleSource(0); err != nil {
+		t.Fatal(err)
+	}
+	slP, rdP, prP := slIx.Export(), rdIx.Export(), prIx.Export()
+	path := filepath.Join(t.TempDir(), "engine.snap")
+	if err := store.Write(path, &store.Snapshot{Graph: g, Sling: &slP, Reads: &rdP, PRSim: &prP}); err != nil {
+		t.Fatal(err)
+	}
+	for _, verify := range []store.VerifyPolicy{store.VerifyOnLoadSection, store.VerifyEager, store.VerifyNone} {
+		t.Run(verify.String(), func(t *testing.T) {
+			mp, err := store.OpenMapped(path, store.MapOptions{Verify: verify})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mp.Close()
+			preCfg := cfg
+			if preCfg.SlingIndex, err = mp.ImportSling(g); err != nil {
+				t.Fatal(err)
+			}
+			defer preCfg.SlingIndex.Close()
+			if preCfg.ReadsIndex, err = mp.ImportReads(g); err != nil {
+				t.Fatal(err)
+			}
+			defer preCfg.ReadsIndex.Close()
+			if preCfg.PRSimIndex, err = mp.ImportPRSim(g); err != nil {
+				t.Fatal(err)
+			}
+			defer preCfg.PRSimIndex.Close()
+			for _, name := range []string{"sling", "reads", "prsim"} {
+				built, err := New(ctx, name, g, cfg)
+				if err != nil {
+					t.Fatalf("%s: building fresh: %v", name, err)
+				}
+				mapped, err := New(ctx, name, g, preCfg)
+				if err != nil {
+					t.Fatalf("%s: constructing from mapped index: %v", name, err)
+				}
+				for u := 0; u < g.NumNodes(); u++ {
+					want, err := built.SingleSource(ctx, graph.NodeID(u), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					have, err := mapped.SingleSource(ctx, graph.NodeID(u), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(want, have) {
+						t.Fatalf("%s: SingleSource(%d) differs between built and mapped index", name, u)
+					}
+				}
+			}
+		})
 	}
 }
 

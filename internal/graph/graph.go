@@ -347,3 +347,43 @@ func FromCSR(n int, directed bool, version uint64, inOff []int32, inAdj []NodeID
 	}
 	return g, nil
 }
+
+// AdoptCSR wraps raw CSR arrays without the O(m log d) full validation
+// or version recomputation FromCSR performs: only O(n) shape checks
+// (offset lengths, spans, monotonicity) run, and the recorded version
+// is adopted as-is. This is the mmap borrow path, where the arrays
+// alias a read-only mapping whose section checksum already vouches for
+// the bytes; use FromCSR when the input is untrusted. The arrays are
+// shared, never copied — for a mapped snapshot they are hardware
+// read-only, which the Graph API already promises.
+func AdoptCSR(n int, directed bool, version uint64, inOff []int32, inAdj []NodeID, outOff []int32, outAdj []NodeID) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	if len(inOff) != n+1 || len(outOff) != n+1 {
+		return nil, fmt.Errorf("graph: offset arrays have wrong length (n=%d, in=%d, out=%d)",
+			n, len(inOff), len(outOff))
+	}
+	for _, s := range [2]struct {
+		off []int32
+		adj []NodeID
+		dir string
+	}{{inOff, inAdj, "in"}, {outOff, outAdj, "out"}} {
+		if s.off[0] != 0 || int(s.off[n]) != len(s.adj) {
+			return nil, fmt.Errorf("graph: %s offsets do not span adjacency (first=%d, last=%d, len=%d)",
+				s.dir, s.off[0], s.off[n], len(s.adj))
+		}
+		for v := 0; v < n; v++ {
+			if s.off[v] > s.off[v+1] {
+				return nil, fmt.Errorf("graph: %s offsets not monotone at node %d", s.dir, v)
+			}
+		}
+	}
+	if len(inAdj) != len(outAdj) {
+		return nil, fmt.Errorf("graph: in/out arc counts differ (%d vs %d)", len(inAdj), len(outAdj))
+	}
+	return &Graph{
+		n: n, directed: directed, version: version,
+		inOff: inOff, inAdj: inAdj, outOff: outOff, outAdj: outAdj,
+	}, nil
+}

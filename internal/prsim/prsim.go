@@ -190,7 +190,27 @@ type Index struct {
 	calls map[graph.NodeID]*sync.WaitGroup
 
 	pool sync.Pool // *queryScratch
+
+	// release gives borrowed memory back to its owner (drops the
+	// mapping reference an imported-from-mmap index holds).
+	release func() error
 }
+
+// Close releases any borrowed memory backing the index (a no-op for
+// built or copied indexes). Idempotent; the index must not be queried
+// afterwards.
+func (ix *Index) Close() error {
+	r := ix.release
+	ix.release = nil
+	if r == nil {
+		return nil
+	}
+	return r()
+}
+
+// SetRelease attaches the borrowed-memory release hook; the store
+// layer calls it when an index is imported aliasing a mapping.
+func (ix *Index) SetRelease(f func() error) { ix.release = f }
 
 // Stats is a point-in-time snapshot of the index's work counters.
 type Stats struct {

@@ -77,7 +77,27 @@ func (ix *Index) Export() Payload {
 // hub set is recomputed from (g, HubFraction) rather than trusted from
 // the payload. g must be the graph the index was built on; the store
 // layer enforces that identity by graph version before calling Import.
+//
+// The published tables alias the payload's Origins/Probs columns (the
+// columns are already the flat serving layout); callers hand over
+// ownership. Lazily built tail tables are published heap-side next to
+// them, so a payload backed by a read-only mapping keeps working as
+// the tail cache grows.
 func Import(g *graph.Graph, p Payload) (*Index, error) {
+	return importPayload(g, p, true)
+}
+
+// ImportBorrowed is Import minus the per-entry semantic validation:
+// structural checks (level counts, column lengths) still run, but the
+// O(entries) origin/probability range scan is skipped — the mapped
+// loader uses this when the section's checksum already vouches for
+// the bytes, so binding a multi-gigabyte hub arena touches none of
+// its pages.
+func ImportBorrowed(g *graph.Graph, p Payload) (*Index, error) {
+	return importPayload(g, p, false)
+}
+
+func importPayload(g *graph.Graph, p Payload, validate bool) (*Index, error) {
 	o := p.Opt.withDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, fmt.Errorf("prsim: import: %w", err)
@@ -150,25 +170,27 @@ func Import(g *graph.Graph, p Payload) (*Index, error) {
 		t.origins = p.Origins[entry : entry+count : entry+count]
 		t.probs = p.Probs[entry : entry+count : entry+count]
 		entry += count
-		for l := 0; l < lv; l++ {
-			prev := graph.NodeID(-1)
-			for i := t.off[l]; i < t.off[l+1]; i++ {
-				org, prob := t.origins[i], t.probs[i]
-				if org < 0 || int(org) >= n {
-					return nil, fmt.Errorf("prsim: import: node %d level %d references out-of-range origin %d", v, l+1, org)
-				}
-				if org <= prev {
-					return nil, fmt.Errorf("prsim: import: node %d level %d origins not strictly ascending at %d", v, l+1, org)
-				}
-				prev = org
-				if prob <= 0 || prob >= 1 || math.IsNaN(prob) {
-					return nil, fmt.Errorf("prsim: import: node %d level %d origin %d has probability %v outside (0,1)", v, l+1, org, prob)
+		if validate {
+			for l := 0; l < lv; l++ {
+				prev := graph.NodeID(-1)
+				for i := t.off[l]; i < t.off[l+1]; i++ {
+					org, prob := t.origins[i], t.probs[i]
+					if org < 0 || int(org) >= n {
+						return nil, fmt.Errorf("prsim: import: node %d level %d references out-of-range origin %d", v, l+1, org)
+					}
+					if org <= prev {
+						return nil, fmt.Errorf("prsim: import: node %d level %d origins not strictly ascending at %d", v, l+1, org)
+					}
+					prev = org
+					if prob <= 0 || prob >= 1 || math.IsNaN(prob) {
+						return nil, fmt.Errorf("prsim: import: node %d level %d origin %d has probability %v outside (0,1)", v, l+1, org, prob)
+					}
 				}
 			}
 		}
 		t.d = p.D[di]
 		di++
-		if t.d < 0 || t.d > 1 || math.IsNaN(t.d) {
+		if validate && (t.d < 0 || t.d > 1 || math.IsNaN(t.d)) {
 			return nil, fmt.Errorf("prsim: import: d(%d) = %v outside [0,1]", v, t.d)
 		}
 		ix.publish(graph.NodeID(v), t)

@@ -104,6 +104,40 @@ type Index struct {
 	// srcVersion is the frozen graph version an imported index was
 	// bound to (see serde.go); 0 for directly built indexes.
 	srcVersion uint64
+
+	// flat/fg, when set, replace walks/inv/g with the compiled run form
+	// over a frozen graph (see flat.go); the arrays may alias a
+	// read-only snapshot mapping. The first mutation materializes the
+	// heap form above and clears flat.
+	flat *Flat
+	fg   *graph.Graph
+	// release gives borrowed memory back to its owner (drops the
+	// mapping reference an imported-from-mmap index holds).
+	release func() error
+}
+
+// Close releases any borrowed memory backing the index (a no-op for
+// built or copied indexes). Idempotent; the index must not be queried
+// afterwards.
+func (ix *Index) Close() error {
+	r := ix.release
+	ix.release = nil
+	if r == nil {
+		return nil
+	}
+	return r()
+}
+
+// SetRelease attaches the borrowed-memory release hook; the store
+// layer calls it when an index is imported aliasing a mapping.
+func (ix *Index) SetRelease(f func() error) { ix.release = f }
+
+// numNodes works for both the mutable and the borrowed representation.
+func (ix *Index) numNodes() int {
+	if ix.g != nil {
+		return ix.g.NumNodes()
+	}
+	return ix.fg.NumNodes()
 }
 
 // Build generates the r walks per node on a private copy of g's current
@@ -220,6 +254,9 @@ func (ix *Index) dropWalk(k int, v graph.NodeID) {
 // walk visiting the head at any step before its last is resampled, plus
 // all walks originating at the head.
 func (ix *Index) ApplyEdge(e graph.Edge, add bool) error {
+	if err := ix.materialize(); err != nil {
+		return err
+	}
 	var err error
 	if add {
 		err = ix.g.AddEdge(e.X, e.Y)
@@ -280,7 +317,7 @@ func (ix *Index) SingleSourceCtx(ctx context.Context, u graph.NodeID) (map[graph
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	n := ix.g.NumNodes()
+	n := ix.numNodes()
 	if u < 0 || int(u) >= n {
 		return nil, fmt.Errorf("reads: source %d out of range for n=%d", u, n)
 	}
@@ -291,13 +328,18 @@ func (ix *Index) SingleSourceCtx(ctx context.Context, u graph.NodeID) (map[graph
 	met := make(map[graph.NodeID]struct{}, 64)
 	samples := ix.opt.R + ix.opt.RQ
 	inc := 1 / float64(samples)
+	borrowed := ix.flat != nil
 	for k := 0; k < ix.opt.R; k++ {
 		if k&31 == 31 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		ix.accumulate(k, ix.walks[k][u], u, inc, met, scores)
+		if borrowed {
+			ix.accumulateFlat(k, ix.walkFlat(k, u), u, inc, met, scores)
+		} else {
+			ix.accumulate(k, ix.walks[k][u], u, inc, met, scores)
+		}
 	}
 	// r_q refinement: fresh source walks matched against stored index
 	// samples round-robin.
@@ -306,7 +348,11 @@ func (ix *Index) SingleSourceCtx(ctx context.Context, u graph.NodeID) (map[graph
 		w := make([]graph.NodeID, 0, ix.opt.MaxLen+1)
 		for f := 0; f < ix.opt.RQ; f++ {
 			w = ix.sampleFresh(u, r, w)
-			ix.accumulate(f%ix.opt.R, w, u, inc, met, scores)
+			if borrowed {
+				ix.accumulateFlat(f%ix.opt.R, w, u, inc, met, scores)
+			} else {
+				ix.accumulate(f%ix.opt.R, w, u, inc, met, scores)
+			}
 		}
 	}
 	scores[u] = 1
@@ -333,6 +379,10 @@ func (ix *Index) accumulate(k int, w []graph.NodeID, u graph.NodeID, inc float64
 }
 
 // sampleFresh draws a query-time √c-walk from u on the current graph.
+// A borrowed index samples the frozen CSR in-lists, which are
+// elementwise identical to the DiGraph a copying Import builds from
+// the same graph — the walks, and therefore the scores, match bit for
+// bit.
 func (ix *Index) sampleFresh(u graph.NodeID, r *rng.Source, buf []graph.NodeID) []graph.NodeID {
 	buf = append(buf[:0], u)
 	cur := u
@@ -340,7 +390,12 @@ func (ix *Index) sampleFresh(u graph.NodeID, r *rng.Source, buf []graph.NodeID) 
 		if r.Float64() >= ix.sc {
 			break
 		}
-		in := ix.g.In(cur)
+		var in []graph.NodeID
+		if ix.g != nil {
+			in = ix.g.In(cur)
+		} else {
+			in = ix.fg.In(cur)
+		}
 		if len(in) == 0 {
 			break
 		}
@@ -352,6 +407,9 @@ func (ix *Index) sampleFresh(u graph.NodeID, r *rng.Source, buf []graph.NodeID) 
 
 // NumWalks returns the total number of stored walks (r · n).
 func (ix *Index) NumWalks() int {
+	if ix.flat != nil {
+		return ix.opt.R * ix.numNodes()
+	}
 	total := 0
 	for k := range ix.walks {
 		total += len(ix.walks[k])
@@ -362,6 +420,9 @@ func (ix *Index) NumWalks() int {
 // Positions returns the total number of stored walk positions across
 // all samples, the index-memory proxy the benchmark reports use.
 func (ix *Index) Positions() int {
+	if ix.flat != nil {
+		return len(ix.flat.Nodes)
+	}
 	total := 0
 	for k := range ix.walks {
 		for _, w := range ix.walks[k] {
@@ -372,5 +433,12 @@ func (ix *Index) Positions() int {
 }
 
 // Graph returns the index's private graph copy (tests use it to verify
-// the update path keeps it in sync).
-func (ix *Index) Graph() *graph.DiGraph { return ix.g }
+// the update path keeps it in sync). On a borrowed index this
+// materializes the mutable form first; materialization from a valid
+// frozen graph cannot fail.
+func (ix *Index) Graph() *graph.DiGraph {
+	if err := ix.materialize(); err != nil {
+		panic(err)
+	}
+	return ix.g
+}

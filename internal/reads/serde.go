@@ -59,6 +59,12 @@ func (ix *Index) Export() Payload {
 // order as BuildCtx, so queries against the imported index are
 // bit-identical to the exported one. g must be the graph the index was
 // built on; the store layer enforces that identity by graph version.
+//
+// The payload's Nodes column is adopted: each stored walk is a
+// capacity-clamped subslice of it rather than a fresh copy (resampled
+// walks replace whole slices, never write in place), so the loader
+// performs exactly one copy of the snapshot bytes. Callers hand over
+// ownership of the payload arrays.
 func Import(g *graph.Graph, p Payload) (*Index, error) {
 	o := p.Opt.withDefaults()
 	if err := o.Validate(); err != nil {
@@ -94,7 +100,7 @@ func Import(g *graph.Graph, p Payload) (*Index, error) {
 			if off+l > len(p.Nodes) {
 				return nil, fmt.Errorf("reads: import: walk nodes truncated at walk (%d,%d)", k, v)
 			}
-			w := append([]graph.NodeID(nil), p.Nodes[off:off+l]...)
+			w := p.Nodes[off : off+l : off+l]
 			off += l
 			if w[0] != graph.NodeID(v) {
 				return nil, fmt.Errorf("reads: import: walk (%d,%d) starts at %d, not its origin", k, v, w[0])

@@ -53,6 +53,15 @@ func (ix *Index) Export() Payload {
 		D:          append([]float64(nil), ix.d...),
 	}
 	p.Opt.Workers = 0
+	if f := ix.flat; f != nil {
+		for v := 0; v < n; v++ {
+			p.DistCounts[v] = f.DistOff[v+1] - f.DistOff[v]
+		}
+		p.Steps = append(p.Steps, f.Steps...)
+		p.Nodes = append(p.Nodes, f.Nodes...)
+		p.Probs = append(p.Probs, f.Probs...)
+		return p
+	}
 	for v := 0; v < n; v++ {
 		p.DistCounts[v] = int32(len(ix.dist[v]))
 		for _, e := range ix.dist[v] {
@@ -71,6 +80,10 @@ func (ix *Index) Export() Payload {
 // queries against the imported index are bit-identical to the exported
 // one). g must be the graph the index was built on; the store layer
 // enforces that identity by graph version before calling Import.
+//
+// The payload's D column is adopted, not copied — callers hand over
+// ownership (the store decodes payloads into fresh buffers, so the
+// loader performs exactly one copy of the snapshot bytes).
 func Import(g *graph.Graph, p Payload) (*Index, error) {
 	o := p.Opt.withDefaults()
 	if err := o.Validate(); err != nil {
@@ -96,7 +109,7 @@ func Import(g *graph.Graph, p Payload) (*Index, error) {
 		opt:  o,
 		dist: make([][]entry, n),
 		inv:  make([]map[graph.NodeID][]occurrence, o.Lmax+1),
-		d:    append([]float64(nil), p.D...),
+		d:    p.D,
 	}
 	for x, d := range ix.d {
 		if d < 0 || d > 1 || math.IsNaN(d) {

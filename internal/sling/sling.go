@@ -115,7 +115,30 @@ type Index struct {
 	dist [][]entry                       // per node: truncated hitting distribution
 	inv  []map[graph.NodeID][]occurrence // per step: node -> walks passing through
 	d    []float64                       // per node: never-meet-again correction
+
+	// flat, when non-nil, replaces dist/inv with the compiled CSR form
+	// (see flat.go); its arrays may alias a read-only snapshot mapping.
+	flat *Flat
+	// release gives borrowed memory back to its owner (drops the
+	// mapping reference an imported-from-mmap index holds).
+	release func() error
 }
+
+// Close releases any borrowed memory backing the index (a no-op for
+// built or copied indexes). Idempotent; the index must not be queried
+// afterwards.
+func (ix *Index) Close() error {
+	r := ix.release
+	ix.release = nil
+	if r == nil {
+		return nil
+	}
+	return r()
+}
+
+// SetRelease attaches the borrowed-memory release hook; the store
+// layer calls it when an index is imported aliasing a mapping.
+func (ix *Index) SetRelease(f func() error) { ix.release = f }
 
 // Build constructs the index: one bounded push per node, the inverted
 // occurrence index, and the Monte-Carlo d estimation. Cost is
@@ -275,6 +298,13 @@ func (ix *Index) SingleSourceCtx(ctx context.Context, u graph.NodeID) (map[graph
 		return nil, err
 	}
 	scores := make(map[graph.NodeID]float64, 64)
+	if ix.flat != nil {
+		if err := ix.singleSourceFlat(ctx, u, scores); err != nil {
+			return nil, err
+		}
+		scores[u] = 1
+		return scores, nil
+	}
 	for i, e := range ix.dist[u] {
 		if i&255 == 255 {
 			if err := ctx.Err(); err != nil {
@@ -295,6 +325,9 @@ func (ix *Index) D(x graph.NodeID) float64 { return ix.d[x] }
 // DistSize returns the total number of stored index entries, a proxy for
 // index memory in the benchmark reports.
 func (ix *Index) DistSize() int {
+	if ix.flat != nil {
+		return len(ix.flat.Steps)
+	}
 	total := 0
 	for _, d := range ix.dist {
 		total += len(d)

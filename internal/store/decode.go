@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"crashsim/internal/graph"
+	"crashsim/internal/mmap"
 	"crashsim/internal/prsim"
 	"crashsim/internal/reads"
 	"crashsim/internal/sling"
@@ -18,10 +19,20 @@ import (
 // dec is a bounds-checked little-endian reader over one section's
 // verified payload. Array reads check the remaining byte count before
 // allocating, so a hostile length field cannot force a huge allocation.
+//
+// Two flags select the decoding discipline:
+//
+//   - aligned (format v2): skip the zero pad bytes emitted before each
+//     array so its length prefix sits 8-aligned;
+//   - borrow (mapped load): alias array bytes in place via typed casts
+//     instead of copying them out, valid only over an aligned payload
+//     whose backing memory is 8-aligned (a v2 section in a mapping).
 type dec struct {
-	b   []byte
-	off int
-	err error
+	b       []byte
+	off     int
+	err     error
+	aligned bool
+	borrow  bool
 }
 
 func (d *dec) fail(what string) {
@@ -69,7 +80,20 @@ func (d *dec) u64(what string) uint64 {
 
 func (d *dec) f64(what string) float64 { return math.Float64frombits(d.u64(what)) }
 
+// align8 consumes the pad bytes before an array in an aligned section.
+// The pads are CRC-covered with everything else, so their content is
+// not re-checked here.
+func (d *dec) align8(what string) {
+	if !d.aligned {
+		return
+	}
+	if pad := alignUp(d.off, 8) - d.off; pad > 0 {
+		d.take(pad, what)
+	}
+}
+
 func (d *dec) arrayLen(width int, what string) int {
+	d.align8(what)
 	n := d.u64(what)
 	if d.err != nil {
 		return 0
@@ -86,6 +110,13 @@ func (d *dec) i32s(what string) []int32 {
 	if d.err != nil {
 		return nil
 	}
+	if d.borrow {
+		vs, err := mmap.Int32s(d.take(n*4, what))
+		if err != nil && d.err == nil {
+			d.err = fmt.Errorf("store: %s: %w", what, err)
+		}
+		return vs
+	}
 	vs := make([]int32, n)
 	for i := range vs {
 		vs[i] = int32(binary.LittleEndian.Uint32(d.b[d.off:]))
@@ -94,23 +125,21 @@ func (d *dec) i32s(what string) []int32 {
 	return vs
 }
 
-func (d *dec) nodes(what string) []graph.NodeID {
-	n := d.arrayLen(4, what)
-	if d.err != nil {
-		return nil
-	}
-	vs := make([]graph.NodeID, n)
-	for i := range vs {
-		vs[i] = graph.NodeID(binary.LittleEndian.Uint32(d.b[d.off:]))
-		d.off += 4
-	}
-	return vs
-}
+// nodes is i32s under graph.NodeID's name: NodeID is an int32 alias,
+// so the borrow cast hands back the same slice type either way.
+func (d *dec) nodes(what string) []graph.NodeID { return d.i32s(what) }
 
 func (d *dec) f64s(what string) []float64 {
 	n := d.arrayLen(8, what)
 	if d.err != nil {
 		return nil
+	}
+	if d.borrow {
+		vs, err := mmap.Float64s(d.take(n*8, what))
+		if err != nil && d.err == nil {
+			d.err = fmt.Errorf("store: %s: %w", what, err)
+		}
+		return vs
 	}
 	vs := make([]float64, n)
 	for i := range vs {
@@ -118,6 +147,21 @@ func (d *dec) f64s(what string) []float64 {
 		d.off += 8
 	}
 	return vs
+}
+
+// blob returns the bytes of a length-prefixed nested byte string
+// (always borrowed — it is a window to sub-decode or skip, not data).
+func (d *dec) blob(what string) []byte {
+	d.align8(what)
+	n := d.u64(what)
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail(what)
+		return nil
+	}
+	return d.take(int(n), what)
 }
 
 func (d *dec) done(sec string) error {
@@ -130,8 +174,13 @@ func (d *dec) done(sec string) error {
 	return nil
 }
 
-func decodeGraph(payload []byte, version uint64) (*graph.Graph, error) {
-	d := &dec{b: payload}
+// decodeGraph reads the CSR section. With adopt set (mapped trusted
+// load) the arrays alias the payload and only shape checks run —
+// AdoptCSR — because the section CRC already vouched for the bytes;
+// otherwise FromCSR performs full CSR validation plus content-version
+// recomputation.
+func decodeGraph(payload []byte, version uint64, aligned, borrow, adopt bool) (*graph.Graph, error) {
+	d := &dec{b: payload, aligned: aligned, borrow: borrow}
 	n := d.u64("graph node count")
 	directed := d.u8("graph directedness") != 0
 	inOff := d.i32s("graph in-offsets")
@@ -144,31 +193,46 @@ func decodeGraph(payload []byte, version uint64) (*graph.Graph, error) {
 	if n > uint64(math.MaxInt32) {
 		return nil, fmt.Errorf("store: graph section claims %d nodes", n)
 	}
-	// FromCSR validates CSR well-formedness and, for content-derived
-	// versions, recomputes the hash — a snapshot cannot claim a graph
-	// identity its bytes do not hash to.
-	g, err := graph.FromCSR(int(n), directed, version, inOff, inAdj, outOff, outAdj)
+	var g *graph.Graph
+	var err error
+	if adopt {
+		g, err = graph.AdoptCSR(int(n), directed, version, inOff, inAdj, outOff, outAdj)
+	} else {
+		g, err = graph.FromCSR(int(n), directed, version, inOff, inAdj, outOff, outAdj)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("store: graph section: %w", err)
 	}
 	return g, nil
 }
 
-func decodeSling(payload []byte, graphVersion uint64) (*sling.Payload, error) {
-	d := &dec{b: payload}
-	gv := d.u64("sling graph version")
+// slingScalars reads the fixed-width prefix of a sling section.
+func slingScalars(d *dec) (gv uint64, o sling.Options) {
+	gv = d.u64("sling graph version")
+	o.C = d.f64("sling C")
+	o.Eps = d.f64("sling Eps")
+	o.Lmax = int(d.u32("sling Lmax"))
+	o.Prune = d.f64("sling Prune")
+	o.DSamples = int(d.u32("sling DSamples"))
+	o.Seed = d.u64("sling Seed")
+	return gv, o
+}
+
+func decodeSling(payload []byte, graphVersion uint64, aligned bool) (*sling.Payload, error) {
+	d := &dec{b: payload, aligned: aligned}
 	var p sling.Payload
-	p.Opt.C = d.f64("sling C")
-	p.Opt.Eps = d.f64("sling Eps")
-	p.Opt.Lmax = int(d.u32("sling Lmax"))
-	p.Opt.Prune = d.f64("sling Prune")
-	p.Opt.DSamples = int(d.u32("sling DSamples"))
-	p.Opt.Seed = d.u64("sling Seed")
+	gv, o := slingScalars(d)
+	p.Opt = o
 	p.DistCounts = d.i32s("sling dist counts")
 	p.Steps = d.i32s("sling steps")
 	p.Nodes = d.nodes("sling nodes")
 	p.Probs = d.f64s("sling probs")
 	p.D = d.f64s("sling d values")
+	if aligned {
+		// The copying path rebuilds its own maps; the precompiled
+		// inverted index is dead weight here, skipped by byte count.
+		d.blob("sling accel")
+	}
 	if err := d.done(SecSling); err != nil {
 		return nil, err
 	}
@@ -179,17 +243,58 @@ func decodeSling(payload []byte, graphVersion uint64) (*sling.Payload, error) {
 	return &p, nil
 }
 
-func decodeReads(payload []byte, graphVersion uint64) (*reads.Payload, error) {
-	d := &dec{b: payload}
-	gv := d.u64("reads graph version")
+// decodeSlingFlat is the mapped decoder: every array aliases the
+// mapping, and the accel blob supplies the precompiled inverted index
+// so the returned Flat serves queries without building anything.
+func decodeSlingFlat(payload []byte, graphVersion uint64) (*sling.Flat, error) {
+	d := &dec{b: payload, aligned: true, borrow: true}
+	var f sling.Flat
+	gv, o := slingScalars(d)
+	f.Opt = o
+	d.i32s("sling dist counts") // derivable from DistOff; present for the copying decoder
+	f.Steps = d.i32s("sling steps")
+	f.Nodes = d.nodes("sling nodes")
+	f.Probs = d.f64s("sling probs")
+	f.D = d.f64s("sling d values")
+	ab := d.blob("sling accel")
+	if err := d.done(SecSling); err != nil {
+		return nil, err
+	}
+	ad := &dec{b: ab, aligned: true, borrow: true}
+	f.DistOff = ad.i32s("sling accel dist offsets")
+	f.InvOff = ad.i32s("sling accel inv offsets")
+	f.InvOrigins = ad.nodes("sling accel inv origins")
+	f.InvProbs = ad.f64s("sling accel inv probs")
+	if err := ad.done(SecSling + " accel"); err != nil {
+		return nil, err
+	}
+	if gv != graphVersion {
+		return nil, fmt.Errorf("%w: sling section built for graph %#x, snapshot graph is %#x",
+			ErrVersionMismatch, gv, graphVersion)
+	}
+	return &f, nil
+}
+
+func readsScalars(d *dec) (gv uint64, o reads.Options) {
+	gv = d.u64("reads graph version")
+	o.C = d.f64("reads C")
+	o.R = int(d.u32("reads R"))
+	o.MaxLen = int(d.u32("reads MaxLen"))
+	o.RQ = int(d.u32("reads RQ"))
+	o.Seed = d.u64("reads Seed")
+	return gv, o
+}
+
+func decodeReads(payload []byte, graphVersion uint64, aligned bool) (*reads.Payload, error) {
+	d := &dec{b: payload, aligned: aligned}
 	var p reads.Payload
-	p.Opt.C = d.f64("reads C")
-	p.Opt.R = int(d.u32("reads R"))
-	p.Opt.MaxLen = int(d.u32("reads MaxLen"))
-	p.Opt.RQ = int(d.u32("reads RQ"))
-	p.Opt.Seed = d.u64("reads Seed")
+	gv, o := readsScalars(d)
+	p.Opt = o
 	p.WalkLens = d.i32s("reads walk lengths")
 	p.Nodes = d.nodes("reads walk nodes")
+	if aligned {
+		d.blob("reads accel")
+	}
 	if err := d.done(SecReads); err != nil {
 		return nil, err
 	}
@@ -200,8 +305,40 @@ func decodeReads(payload []byte, graphVersion uint64) (*reads.Payload, error) {
 	return &p, nil
 }
 
-func decodePRSim(payload []byte, graphVersion uint64) (*prsim.Payload, error) {
-	d := &dec{b: payload}
+// decodeReadsFlat is the mapped decoder for the reads section: walks
+// and the sorted inverted runs alias the mapping.
+func decodeReadsFlat(payload []byte, graphVersion uint64) (*reads.Flat, error) {
+	d := &dec{b: payload, aligned: true, borrow: true}
+	var f reads.Flat
+	gv, o := readsScalars(d)
+	f.Opt = o
+	d.i32s("reads walk lengths") // WalkOff in the accel is their prefix sum
+	f.Nodes = d.nodes("reads walk nodes")
+	ab := d.blob("reads accel")
+	if err := d.done(SecReads); err != nil {
+		return nil, err
+	}
+	ad := &dec{b: ab, aligned: true, borrow: true}
+	f.WalkOff = ad.i32s("reads accel walk offsets")
+	f.RunOff = ad.i32s("reads accel run offsets")
+	f.InvNodes = ad.nodes("reads accel inv nodes")
+	f.ListOff = ad.i32s("reads accel list offsets")
+	f.InvOrigins = ad.nodes("reads accel inv origins")
+	if err := ad.done(SecReads + " accel"); err != nil {
+		return nil, err
+	}
+	if gv != graphVersion {
+		return nil, fmt.Errorf("%w: reads section built for graph %#x, snapshot graph is %#x",
+			ErrVersionMismatch, gv, graphVersion)
+	}
+	return &f, nil
+}
+
+// decodePRSim reads a prsim section. The section has no accel blob —
+// its payload columns are already the serving layout — so the mapped
+// path is the same decode with borrow set.
+func decodePRSim(payload []byte, graphVersion uint64, aligned, borrow bool) (*prsim.Payload, error) {
+	d := &dec{b: payload, aligned: aligned, borrow: borrow}
 	gv := d.u64("prsim graph version")
 	var p prsim.Payload
 	p.Opt.C = d.f64("prsim C")
@@ -228,30 +365,59 @@ func decodePRSim(payload []byte, graphVersion uint64) (*prsim.Payload, error) {
 	return &p, nil
 }
 
-// Decode parses and fully verifies a snapshot image: magic, format
-// version, section-table bounds, and every section's CRC are checked
-// before any payload is decoded, and each decoded section is validated
-// semantically. On any failure the snapshot is unusable and the typed
-// error says why; Decode never returns a partially trusted snapshot.
-func Decode(data []byte) (*Snapshot, error) {
+// sectionInfo is one parsed section-table entry; the payload bounds
+// have been checked against the file.
+type sectionInfo struct {
+	name        string
+	off, length int
+	crc         uint32
+}
+
+// fileInfo is the structurally validated frame of a snapshot image:
+// header fields plus the section table. CRCs are recorded, not yet
+// checked — Decode checks them all, the mapped loader per its policy.
+type fileInfo struct {
+	format       uint32
+	graphVersion uint64
+	sections     []sectionInfo
+}
+
+func (f *fileInfo) section(name string) *sectionInfo {
+	for i := range f.sections {
+		if f.sections[i].name == name {
+			return &f.sections[i]
+		}
+	}
+	return nil
+}
+
+// parseHeader validates everything about a snapshot image that can be
+// checked without hashing payloads: magic, format version, section
+// table bounds, and — for v2 — section alignment and the exact padded
+// file length. Each failure maps to its sentinel.
+func parseHeader(data []byte) (*fileInfo, error) {
 	if len(data) < headerSize {
 		return nil, fmt.Errorf("%w: %d-byte file is smaller than the header", ErrTruncated, len(data))
 	}
 	if string(data[:8]) != Magic {
 		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, string(data[:8]))
 	}
-	format := binary.LittleEndian.Uint32(data[8:12])
-	if format != FormatVersion {
-		return nil, fmt.Errorf("%w: file is v%d, this build reads v%d", ErrFormatVersion, format, FormatVersion)
+	fi := &fileInfo{
+		format:       binary.LittleEndian.Uint32(data[8:12]),
+		graphVersion: binary.LittleEndian.Uint64(data[12:20]),
 	}
-	graphVersion := binary.LittleEndian.Uint64(data[12:20])
+	if fi.format != formatV1 && fi.format != FormatVersion {
+		return nil, fmt.Errorf("%w: file is v%d, this build reads v%d and v%d",
+			ErrFormatVersion, fi.format, formatV1, FormatVersion)
+	}
+	aligned := fi.format >= 2
 	count := binary.LittleEndian.Uint32(data[20:24])
 	tableEnd := headerSize + int(count)*sectionHeaderSize
 	if int(count) > (len(data)-headerSize)/sectionHeaderSize {
 		return nil, fmt.Errorf("%w: section table (%d entries) exceeds file", ErrTruncated, count)
 	}
-
-	payloads := make(map[string][]byte, count)
+	end := tableEnd
+	fi.sections = make([]sectionInfo, 0, count)
 	for i := 0; i < int(count); i++ {
 		entry := data[headerSize+i*sectionHeaderSize:]
 		name := string(bytes.TrimRight(entry[:8], "\x00"))
@@ -262,39 +428,85 @@ func Decode(data []byte) (*Snapshot, error) {
 			return nil, fmt.Errorf("%w: section %q spans [%d, %d) in a %d-byte file",
 				ErrTruncated, name, off, off+length, len(data))
 		}
-		payload := data[off : off+length]
-		if got := crc32.ChecksumIEEE(payload); got != sum {
-			return nil, fmt.Errorf("%w: section %q crc %08x, recorded %08x", ErrChecksum, name, got, sum)
+		if aligned && off%sectionAlign != 0 {
+			return nil, fmt.Errorf("%w: section %q starts at offset %d (not %d-aligned)",
+				ErrMisaligned, name, off, sectionAlign)
 		}
-		payloads[name] = payload
+		if e := int(off + length); e > end {
+			end = e
+		}
+		fi.sections = append(fi.sections, sectionInfo{name: name, off: int(off), length: int(length), crc: sum})
+	}
+	if aligned && len(data) != alignUp(end, sectionAlign) {
+		return nil, fmt.Errorf("%w: %d-byte file, sections end at %d so a v%d file must be %d bytes",
+			ErrTruncated, len(data), end, FormatVersion, alignUp(end, sectionAlign))
+	}
+	return fi, nil
+}
+
+// verifySectionCRC hashes a section payload against its table entry.
+func verifySectionCRC(info sectionInfo, payload []byte) error {
+	if got := crc32.ChecksumIEEE(payload); got != info.crc {
+		return fmt.Errorf("%w: section %q crc %08x, recorded %08x", ErrChecksum, info.name, got, info.crc)
+	}
+	return nil
+}
+
+func decodeMeta(payload []byte, m *Meta) error {
+	if err := json.Unmarshal(payload, m); err != nil {
+		return fmt.Errorf("store: meta section: %w", err)
+	}
+	return nil
+}
+
+// Decode parses and fully verifies a snapshot image: magic, format
+// version, section-table bounds, (v2) alignment and padded length, and
+// every section's CRC are checked before any payload is decoded, and
+// each decoded section is validated semantically. On any failure the
+// snapshot is unusable and the typed error says why; Decode never
+// returns a partially trusted snapshot. Both format revisions decode
+// here — v2's mapping accelerators are skipped, not required.
+func Decode(data []byte) (*Snapshot, error) {
+	fi, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	aligned := fi.format >= 2
+	payloads := make(map[string][]byte, len(fi.sections))
+	for _, sec := range fi.sections {
+		payload := data[sec.off : sec.off+sec.length]
+		if err := verifySectionCRC(sec, payload); err != nil {
+			return nil, err
+		}
+		payloads[sec.name] = payload
 	}
 
 	gp, ok := payloads[SecGraph]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrMissingSection, SecGraph)
 	}
-	g, err := decodeGraph(gp, graphVersion)
+	g, err := decodeGraph(gp, fi.graphVersion, aligned, false, false)
 	if err != nil {
 		return nil, err
 	}
 	s := &Snapshot{Graph: g}
 	if mp, ok := payloads[SecMeta]; ok {
-		if err := json.Unmarshal(mp, &s.Meta); err != nil {
-			return nil, fmt.Errorf("store: meta section: %w", err)
+		if err := decodeMeta(mp, &s.Meta); err != nil {
+			return nil, err
 		}
 	}
 	if sp, ok := payloads[SecSling]; ok {
-		if s.Sling, err = decodeSling(sp, graphVersion); err != nil {
+		if s.Sling, err = decodeSling(sp, fi.graphVersion, aligned); err != nil {
 			return nil, err
 		}
 	}
 	if rp, ok := payloads[SecReads]; ok {
-		if s.Reads, err = decodeReads(rp, graphVersion); err != nil {
+		if s.Reads, err = decodeReads(rp, fi.graphVersion, aligned); err != nil {
 			return nil, err
 		}
 	}
 	if pp, ok := payloads[SecPRSim]; ok {
-		if s.PRSim, err = decodePRSim(pp, graphVersion); err != nil {
+		if s.PRSim, err = decodePRSim(pp, fi.graphVersion, aligned, false); err != nil {
 			return nil, err
 		}
 	}

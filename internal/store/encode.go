@@ -24,7 +24,19 @@ const sectionHeaderSize = 8 + 8 + 8 + 4
 // format version + graph version + section count.
 const headerSize = 8 + 4 + 8 + 4
 
-type enc struct{ buf bytes.Buffer }
+// alignUp rounds n up to the next multiple of a (a power of two).
+func alignUp(n, a int) int { return (n + a - 1) &^ (a - 1) }
+
+// enc is the little-endian section writer. With aligned set (format
+// v2) every array emits zero pad bytes before its u64 length prefix so
+// the prefix — and therefore the element bytes after it — land on an
+// 8-aligned section offset. Section starts are 64-aligned in the file,
+// so section-relative alignment is file alignment is (for a mapped
+// load) memory alignment.
+type enc struct {
+	buf     bytes.Buffer
+	aligned bool
+}
 
 func (e *enc) u8(v uint8) { e.buf.WriteByte(v) }
 
@@ -42,7 +54,20 @@ func (e *enc) u64(v uint64) {
 
 func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
 
+// align8 pads to the next 8-aligned offset (v2 only; v1 writes no
+// padding anywhere, byte-for-byte the original format).
+func (e *enc) align8() {
+	if !e.aligned {
+		return
+	}
+	var zero [8]byte
+	if pad := alignUp(e.buf.Len(), 8) - e.buf.Len(); pad > 0 {
+		e.buf.Write(zero[:pad])
+	}
+}
+
 func (e *enc) i32s(vs []int32) {
+	e.align8()
 	e.u64(uint64(len(vs)))
 	var b [4]byte
 	for _, v := range vs {
@@ -51,16 +76,10 @@ func (e *enc) i32s(vs []int32) {
 	}
 }
 
-func (e *enc) nodes(vs []graph.NodeID) {
-	e.u64(uint64(len(vs)))
-	var b [4]byte
-	for _, v := range vs {
-		binary.LittleEndian.PutUint32(b[:], uint32(v))
-		e.buf.Write(b[:])
-	}
-}
+func (e *enc) nodes(vs []graph.NodeID) { e.i32s(vs) }
 
 func (e *enc) f64s(vs []float64) {
+	e.align8()
 	e.u64(uint64(len(vs)))
 	var b [8]byte
 	for _, v := range vs {
@@ -69,10 +88,20 @@ func (e *enc) f64s(vs []float64) {
 	}
 }
 
-func encodeGraph(g *graph.Graph) []byte {
+// blob appends a length-prefixed nested byte string at an 8-aligned
+// offset. The payload must itself have been encoded with align8-before-
+// arrays relative to its own start: the u64 prefix ends 8-aligned, so
+// blob-relative alignment is section-relative alignment.
+func (e *enc) blob(b []byte) {
+	e.align8()
+	e.u64(uint64(len(b)))
+	e.buf.Write(b)
+}
+
+func encodeGraph(g *graph.Graph, aligned bool) []byte {
 	inOff, inAdj := g.InCSR()
 	outOff, outAdj := g.OutCSR()
-	var e enc
+	e := enc{aligned: aligned}
 	e.u64(uint64(g.NumNodes()))
 	if g.Directed() {
 		e.u8(1)
@@ -86,8 +115,21 @@ func encodeGraph(g *graph.Graph) []byte {
 	return e.buf.Bytes()
 }
 
-func encodeSling(graphVersion uint64, p *sling.Payload) []byte {
-	var e enc
+// encodeSlingAccel serializes the precompiled inverted index of a
+// sling.Flat — the arrays not derivable cheaply from the payload
+// columns. Steps/Nodes/Probs/D are already in the section body; the
+// mapped decoder reassembles the full Flat from both.
+func encodeSlingAccel(f *sling.Flat) []byte {
+	e := enc{aligned: true}
+	e.i32s(f.DistOff)
+	e.i32s(f.InvOff)
+	e.nodes(f.InvOrigins)
+	e.f64s(f.InvProbs)
+	return e.buf.Bytes()
+}
+
+func encodeSling(graphVersion uint64, p *sling.Payload, aligned bool) []byte {
+	e := enc{aligned: aligned}
 	e.u64(graphVersion)
 	e.f64(p.Opt.C)
 	e.f64(p.Opt.Eps)
@@ -100,11 +142,28 @@ func encodeSling(graphVersion uint64, p *sling.Payload) []byte {
 	e.nodes(p.Nodes)
 	e.f64s(p.Probs)
 	e.f64s(p.D)
+	if aligned {
+		f := p.Flatten()
+		e.blob(encodeSlingAccel(&f))
+	}
 	return e.buf.Bytes()
 }
 
-func encodeReads(graphVersion uint64, p *reads.Payload) []byte {
-	var e enc
+// encodeReadsAccel serializes the walk offsets and sorted inverted
+// runs of a reads.Flat (the node column itself is in the section
+// body).
+func encodeReadsAccel(f *reads.Flat) []byte {
+	e := enc{aligned: true}
+	e.i32s(f.WalkOff)
+	e.i32s(f.RunOff)
+	e.nodes(f.InvNodes)
+	e.i32s(f.ListOff)
+	e.nodes(f.InvOrigins)
+	return e.buf.Bytes()
+}
+
+func encodeReads(graphVersion uint64, p *reads.Payload, aligned bool) []byte {
+	e := enc{aligned: aligned}
 	e.u64(graphVersion)
 	e.f64(p.Opt.C)
 	e.u32(uint32(p.Opt.R))
@@ -113,11 +172,15 @@ func encodeReads(graphVersion uint64, p *reads.Payload) []byte {
 	e.u64(p.Opt.Seed)
 	e.i32s(p.WalkLens)
 	e.nodes(p.Nodes)
+	if aligned {
+		f := p.Flatten()
+		e.blob(encodeReadsAccel(&f))
+	}
 	return e.buf.Bytes()
 }
 
-func encodePRSim(graphVersion uint64, p *prsim.Payload) []byte {
-	var e enc
+func encodePRSim(graphVersion uint64, p *prsim.Payload, aligned bool) []byte {
+	e := enc{aligned: aligned}
 	e.u64(graphVersion)
 	e.f64(p.Opt.C)
 	e.f64(p.Opt.Eps)
@@ -136,12 +199,24 @@ func encodePRSim(graphVersion uint64, p *prsim.Payload) []byte {
 	return e.buf.Bytes()
 }
 
-// Encode serializes a snapshot to the on-disk format. The graph is
-// required; index sections are written only if their payloads are set.
+// Encode serializes a snapshot to the current on-disk format (v2). The
+// graph is required; index sections are written only if their payloads
+// are set.
 func Encode(s *Snapshot) ([]byte, error) {
+	return encodeSnapshot(s, FormatVersion)
+}
+
+// encodeSnapshot writes the given format revision: v2 (aligned,
+// accelerated) for production, v1 for the compatibility fixture and
+// the corruption matrix.
+func encodeSnapshot(s *Snapshot, format uint32) ([]byte, error) {
 	if s == nil || s.Graph == nil {
 		return nil, fmt.Errorf("store: encode: snapshot has no graph")
 	}
+	if format != formatV1 && format != FormatVersion {
+		return nil, fmt.Errorf("store: encode: unknown format v%d", format)
+	}
+	aligned := format >= 2
 	type section struct {
 		name    string
 		payload []byte
@@ -152,36 +227,49 @@ func Encode(s *Snapshot) ([]byte, error) {
 	}
 	gv := s.Graph.Version()
 	sections := []section{
-		{SecGraph, encodeGraph(s.Graph)},
+		{SecGraph, encodeGraph(s.Graph, aligned)},
 		{SecMeta, metaJSON},
 	}
 	if s.Sling != nil {
-		sections = append(sections, section{SecSling, encodeSling(gv, s.Sling)})
+		sections = append(sections, section{SecSling, encodeSling(gv, s.Sling, aligned)})
 	}
 	if s.Reads != nil {
-		sections = append(sections, section{SecReads, encodeReads(gv, s.Reads)})
+		sections = append(sections, section{SecReads, encodeReads(gv, s.Reads, aligned)})
 	}
 	if s.PRSim != nil {
-		sections = append(sections, section{SecPRSim, encodePRSim(gv, s.PRSim)})
+		sections = append(sections, section{SecPRSim, encodePRSim(gv, s.PRSim, aligned)})
 	}
 
 	var e enc
 	e.buf.WriteString(Magic)
-	e.u32(FormatVersion)
+	e.u32(format)
 	e.u64(gv)
 	e.u32(uint32(len(sections)))
-	off := uint64(headerSize + len(sections)*sectionHeaderSize)
+	off := headerSize + len(sections)*sectionHeaderSize
+	if aligned {
+		off = alignUp(off, sectionAlign)
+	}
 	for _, sec := range sections {
 		var name [8]byte
 		copy(name[:], sec.name)
 		e.buf.Write(name[:])
-		e.u64(off)
+		e.u64(uint64(off))
 		e.u64(uint64(len(sec.payload)))
 		e.u32(crc32.ChecksumIEEE(sec.payload))
-		off += uint64(len(sec.payload))
+		off += len(sec.payload)
+		if aligned {
+			off = alignUp(off, sectionAlign)
+		}
+	}
+	pad := make([]byte, sectionAlign)
+	if aligned {
+		e.buf.Write(pad[:alignUp(e.buf.Len(), sectionAlign)-e.buf.Len()])
 	}
 	for _, sec := range sections {
 		e.buf.Write(sec.payload)
+		if aligned {
+			e.buf.Write(pad[:alignUp(e.buf.Len(), sectionAlign)-e.buf.Len()])
+		}
 	}
 	return e.buf.Bytes(), nil
 }

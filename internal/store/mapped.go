@@ -1,0 +1,312 @@
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"crashsim/internal/graph"
+	"crashsim/internal/mmap"
+	"crashsim/internal/prsim"
+	"crashsim/internal/reads"
+	"crashsim/internal/sling"
+)
+
+// VerifyPolicy selects how much of a mapped snapshot is checked before
+// it is trusted. The structural frame (magic, format, section table,
+// alignment, padded length) is always validated eagerly at OpenMapped
+// — the policies only govern payload hashing and semantic validation,
+// which are the parts that scale with file size and would defeat the
+// point of an O(1) mapped open.
+type VerifyPolicy int
+
+const (
+	// VerifyOnLoadSection (the default, zero value) hashes each
+	// section's CRC once, lazily, the first time that section is
+	// imported. A restart that serves only sling queries never pays for
+	// hashing the reads section; a rotted section still cannot serve.
+	VerifyOnLoadSection VerifyPolicy = iota
+	// VerifyEager hashes every section at OpenMapped and runs the full
+	// semantic validation (CSR invariants, content-version recompute,
+	// per-entry range checks) on import — the policy behind
+	// `crashsim -verify-index -mmap`.
+	VerifyEager
+	// VerifyNone skips payload hashing entirely: trusted warm restarts
+	// on the machine that wrote the snapshot, where the bytes were
+	// CRC'd on the way out and the filesystem is trusted.
+	VerifyNone
+)
+
+func (p VerifyPolicy) String() string {
+	switch p {
+	case VerifyOnLoadSection:
+		return "on-load-section"
+	case VerifyEager:
+		return "eager"
+	case VerifyNone:
+		return "none"
+	default:
+		return fmt.Sprintf("VerifyPolicy(%d)", int(p))
+	}
+}
+
+// MapOptions configures OpenMapped.
+type MapOptions struct {
+	Verify VerifyPolicy
+}
+
+// mappedSection pairs a section's byte window in the mapping with its
+// lazy CRC state.
+type mappedSection struct {
+	info     sectionInfo
+	payload  []byte
+	verified atomic.Bool
+}
+
+// Mapped is a snapshot served directly out of a read-only file
+// mapping: the graph CSR, index payload columns, and the v2
+// accelerator arrays all alias the mapping, so opening touches O(1)
+// pages and the page cache — shared across every process mapping the
+// same file — is the only copy of the data.
+//
+// Lifetime: each imported index retains the mapping and releases it on
+// its Close, so Close-ing the Mapped handle while queries are in
+// flight on an imported index is safe — the pages stay mapped until
+// the last index releases them. All fields are unexported on purpose:
+// the only mutable surface is Close.
+type Mapped struct {
+	m            *mmap.Mapping
+	path         string
+	graphVersion uint64
+	verify       VerifyPolicy
+	secs         map[string]*mappedSection
+	graph        *graph.Graph
+	meta         Meta
+	closed       atomic.Bool
+}
+
+// OpenMapped maps the snapshot at path and validates its structural
+// frame eagerly. Only format v2 files can be mapped; a v1 file fails
+// with ErrFormatVersion so callers can fall back to the copying Load.
+// On hardware where zero-copy casts are unavailable (big-endian) every
+// open fails with ErrFormatVersion for the same reason.
+func OpenMapped(path string, opts MapOptions) (*Mapped, error) {
+	if !mmap.CastsSupported() {
+		return nil, fmt.Errorf("%w: mapped loading needs little-endian hardware, use the copying loader", ErrFormatVersion)
+	}
+	m, err := mmap.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	mapped, err := newMapped(m, path, opts)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	statMmapOpens.Inc()
+	mappedLen := int64(m.Len())
+	statMappedBytes.Add(mappedLen)
+	m.SetOnUnmap(func() { statMappedBytes.Add(-mappedLen) })
+	return mapped, nil
+}
+
+func newMapped(m *mmap.Mapping, path string, opts MapOptions) (*Mapped, error) {
+	data := m.Bytes()
+	fi, err := parseHeader(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if fi.format < 2 {
+		return nil, fmt.Errorf("%s: %w: v%d snapshots are not mapping-safe, use the copying loader",
+			path, ErrFormatVersion, fi.format)
+	}
+	mp := &Mapped{
+		m:            m,
+		path:         path,
+		graphVersion: fi.graphVersion,
+		verify:       opts.Verify,
+		secs:         make(map[string]*mappedSection, len(fi.sections)),
+	}
+	for _, sec := range fi.sections {
+		mp.secs[sec.name] = &mappedSection{info: sec, payload: data[sec.off : sec.off+sec.length]}
+	}
+	if mp.verify == VerifyEager {
+		for _, name := range []string{SecGraph, SecMeta, SecSling, SecReads, SecPRSim} {
+			if ms := mp.secs[name]; ms != nil {
+				if err := mp.checkCRC(ms); err != nil {
+					return nil, fmt.Errorf("%s: %w", path, err)
+				}
+			}
+		}
+	} else {
+		statCrcDeferred.Add(uint64(len(mp.secs)))
+	}
+	gp, err := mp.section(SecGraph)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// Trusted opens adopt the CSR arrays with shape checks only; the
+	// eager policy runs FromCSR's full validation and content-version
+	// recompute, matching what the copying Decode always does.
+	mp.graph, err = decodeGraph(gp, fi.graphVersion, true, true, mp.verify != VerifyEager)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if ms := mp.secs[SecMeta]; ms != nil {
+		if _, err := mp.section(SecMeta); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := decodeMeta(ms.payload, &mp.meta); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return mp, nil
+}
+
+func (mp *Mapped) checkCRC(ms *mappedSection) error {
+	if err := verifySectionCRC(ms.info, ms.payload); err != nil {
+		return err
+	}
+	ms.verified.Store(true)
+	statCrcVerified.Inc()
+	return nil
+}
+
+// section returns a section's payload window after applying the CRC
+// policy: eager sections were hashed at open, lazy sections hash here
+// exactly once, VerifyNone never hashes.
+func (mp *Mapped) section(name string) ([]byte, error) {
+	ms := mp.secs[name]
+	if ms == nil {
+		return nil, fmt.Errorf("%w: %s", ErrMissingSection, name)
+	}
+	if mp.verify != VerifyNone && !ms.verified.Load() {
+		if err := mp.checkCRC(ms); err != nil {
+			return nil, err
+		}
+	}
+	return ms.payload, nil
+}
+
+// Graph returns the snapshot's graph, its CSR arrays aliasing the
+// mapping. It stays valid while the Mapped handle or any index
+// imported from it is open.
+func (mp *Mapped) Graph() *graph.Graph { return mp.graph }
+
+// Meta returns the snapshot's provenance record.
+func (mp *Mapped) Meta() Meta { return mp.meta }
+
+// GraphVersion returns the snapshotted graph's identity.
+func (mp *Mapped) GraphVersion() uint64 { return mp.graphVersion }
+
+// Has reports whether the snapshot carries the named section.
+func (mp *Mapped) Has(name string) bool { return mp.secs[name] != nil }
+
+// MappedBytes returns the size of the underlying mapping.
+func (mp *Mapped) MappedBytes() int { return mp.m.Len() }
+
+// Path returns the mapped file's path.
+func (mp *Mapped) Path() string { return mp.path }
+
+// retainFor pins the mapping for the lifetime of an imported index.
+func (mp *Mapped) retainFor(setRelease func(func() error)) {
+	r := mp.m.Retain()
+	setRelease(r.Close)
+}
+
+// ImportSling binds the snapshot's SLING section to g as an index
+// serving straight from the mapping: payload columns and the
+// precompiled inverted index alias the file bytes, so the import cost
+// is shape checks, not array builds. The returned index holds a
+// mapping reference released by its Close.
+func (mp *Mapped) ImportSling(g *graph.Graph) (*sling.Index, error) {
+	if err := mp.checkGraph(g, SecSling); err != nil {
+		return nil, err
+	}
+	payload, err := mp.section(SecSling)
+	if err != nil {
+		return nil, err
+	}
+	f, err := decodeSlingFlat(payload, mp.graphVersion)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := sling.ImportFlat(g, *f, mp.verify == VerifyEager)
+	if err != nil {
+		return nil, err
+	}
+	mp.retainFor(ix.SetRelease)
+	return ix, nil
+}
+
+// ImportReads binds the snapshot's READS section to g, walks and
+// inverted runs aliasing the mapping. The first mutation applied to
+// the returned index promotes it to heap form (copy-on-write); until
+// then it is read-only.
+func (mp *Mapped) ImportReads(g *graph.Graph) (*reads.Index, error) {
+	if err := mp.checkGraph(g, SecReads); err != nil {
+		return nil, err
+	}
+	payload, err := mp.section(SecReads)
+	if err != nil {
+		return nil, err
+	}
+	f, err := decodeReadsFlat(payload, mp.graphVersion)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := reads.ImportFlat(g, *f, mp.verify == VerifyEager)
+	if err != nil {
+		return nil, err
+	}
+	mp.retainFor(ix.SetRelease)
+	return ix, nil
+}
+
+// ImportPRSim binds the snapshot's PRSim section to g. The hub tables
+// alias the mapping; lazily filled tail tables land on the heap beside
+// them, exactly as in the copying import.
+func (mp *Mapped) ImportPRSim(g *graph.Graph) (*prsim.Index, error) {
+	if err := mp.checkGraph(g, SecPRSim); err != nil {
+		return nil, err
+	}
+	payload, err := mp.section(SecPRSim)
+	if err != nil {
+		return nil, err
+	}
+	p, err := decodePRSim(payload, mp.graphVersion, true, true)
+	if err != nil {
+		return nil, err
+	}
+	var ix *prsim.Index
+	if mp.verify == VerifyEager {
+		ix, err = prsim.Import(g, *p)
+	} else {
+		ix, err = prsim.ImportBorrowed(g, *p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mp.retainFor(ix.SetRelease)
+	return ix, nil
+}
+
+func (mp *Mapped) checkGraph(g *graph.Graph, sec string) error {
+	if mp.secs[sec] == nil {
+		return fmt.Errorf("%w: %s", ErrMissingSection, sec)
+	}
+	if g.Version() != mp.graphVersion {
+		return fmt.Errorf("%w: snapshot graph %#x, target graph %#x",
+			ErrVersionMismatch, mp.graphVersion, g.Version())
+	}
+	return nil
+}
+
+// Close releases the handle's mapping reference. Idempotent. Indexes
+// imported from this handle keep the pages mapped until their own
+// Close; the Graph is valid as long as any of them is.
+func (mp *Mapped) Close() error {
+	if !mp.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return mp.m.Close()
+}

@@ -1,0 +1,355 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"crashsim/internal/graph"
+)
+
+// writeTestSnapshot writes the standard test snapshot to a temp file
+// and returns its path plus the in-memory snapshot and built indexes.
+func writeTestSnapshot(t *testing.T) (string, *Snapshot) {
+	t.Helper()
+	snap, _, _, _ := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "v2.snap")
+	if err := Write(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	return path, snap
+}
+
+// TestMappedBitIdentical is the tentpole acceptance check at unit
+// scale: every backend imported from the mapping must answer every
+// source bit-for-bit like the copying loader's import.
+func TestMappedBitIdentical(t *testing.T) {
+	for _, verify := range []VerifyPolicy{VerifyOnLoadSection, VerifyEager, VerifyNone} {
+		t.Run(verify.String(), func(t *testing.T) {
+			path, snap := writeTestSnapshot(t)
+			loaded, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := OpenMapped(path, MapOptions{Verify: verify})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mp.Close()
+			if mp.GraphVersion() != snap.Graph.Version() {
+				t.Fatalf("mapped graph version %#x, want %#x", mp.GraphVersion(), snap.Graph.Version())
+			}
+			if mp.Meta() != snap.Meta {
+				t.Fatalf("mapped meta %+v, want %+v", mp.Meta(), snap.Meta)
+			}
+			if mp.MappedBytes() == 0 {
+				t.Fatal("MappedBytes() = 0")
+			}
+			g := mp.Graph()
+			if g.NumNodes() != snap.Graph.NumNodes() || g.NumEdges() != snap.Graph.NumEdges() {
+				t.Fatalf("mapped graph shape %d/%d, want %d/%d",
+					g.NumNodes(), g.NumEdges(), snap.Graph.NumNodes(), snap.Graph.NumEdges())
+			}
+			slC, err := loaded.ImportSling(loaded.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rdC, err := loaded.ImportReads(loaded.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prC, err := loaded.ImportPRSim(loaded.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slM, err := mp.ImportSling(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer slM.Close()
+			rdM, err := mp.ImportReads(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rdM.Close()
+			prM, err := mp.ImportPRSim(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer prM.Close()
+			for u := 0; u < g.NumNodes(); u++ {
+				for _, c := range []struct {
+					name       string
+					want, have func(graph.NodeID) (map[graph.NodeID]float64, error)
+				}{
+					{"sling", slC.SingleSource, slM.SingleSource},
+					{"reads", rdC.SingleSource, rdM.SingleSource},
+					{"prsim", prC.SingleSource, prM.SingleSource},
+				} {
+					want, err := c.want(graph.NodeID(u))
+					if err != nil {
+						t.Fatal(err)
+					}
+					have, err := c.have(graph.NodeID(u))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(want, have) {
+						t.Fatalf("%s SingleSource(%d) differs between copied and mapped index", c.name, u)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMappedLifecycleRace pins the refcount story under the race
+// detector: queries keep running on a mapped index while another
+// goroutine closes the store handle, and the pages are only released
+// (mapped_bytes gauge back down) when the last index closes.
+func TestMappedLifecycleRace(t *testing.T) {
+	path, _ := writeTestSnapshot(t)
+	before := statMappedBytes.Load()
+	mp, err := OpenMapped(path, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mp.Graph()
+	sl, err := mp.ImportSling(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := 0; u < g.NumNodes(); u++ {
+				if _, err := sl.SingleSource(graph.NodeID(u)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := mp.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	// The store handle is gone, the index's retained reference is not:
+	// queries must still see valid pages.
+	if _, err := sl.SingleSource(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := statMappedBytes.Load(); got == before {
+		t.Fatal("mapped_bytes gauge did not rise while the index held the mapping")
+	}
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := statMappedBytes.Load(); got != before {
+		t.Fatalf("mapped_bytes gauge = %d after the last close, want %d", got, before)
+	}
+}
+
+// TestMappedVerifyPolicies pins what each policy hashes and when,
+// via the crc_deferred/crc_verified counters and a corrupted section.
+func TestMappedVerifyPolicies(t *testing.T) {
+	path, _ := writeTestSnapshot(t)
+
+	t.Run("lazy hashes once on first import", func(t *testing.T) {
+		deferred0, verified0 := statCrcDeferred.Load(), statCrcVerified.Load()
+		mp, err := OpenMapped(path, MapOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mp.Close()
+		// Open defers every section but hashes graph and meta to decode
+		// them (the graph is needed eagerly for imports).
+		if d := statCrcDeferred.Load() - deferred0; d != 5 {
+			t.Fatalf("crc_deferred rose by %d at open, want 5", d)
+		}
+		afterOpen := statCrcVerified.Load()
+		if _, err := mp.ImportSling(mp.Graph()); err != nil {
+			t.Fatal(err)
+		}
+		if d := statCrcVerified.Load() - afterOpen; d != 1 {
+			t.Fatalf("crc_verified rose by %d on first sling import, want 1", d)
+		}
+		again := statCrcVerified.Load()
+		if _, err := mp.ImportSling(mp.Graph()); err != nil {
+			t.Fatal(err)
+		}
+		if statCrcVerified.Load() != again {
+			t.Fatal("second import re-hashed an already verified section")
+		}
+		if statCrcVerified.Load() == verified0 {
+			t.Fatal("lazy policy never hashed anything")
+		}
+	})
+
+	t.Run("none never hashes", func(t *testing.T) {
+		verified0 := statCrcVerified.Load()
+		mp, err := OpenMapped(path, MapOptions{Verify: VerifyNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mp.Close()
+		if _, err := mp.ImportReads(mp.Graph()); err != nil {
+			t.Fatal(err)
+		}
+		if statCrcVerified.Load() != verified0 {
+			t.Fatal("VerifyNone hashed a section")
+		}
+	})
+
+	t.Run("corrupt section", func(t *testing.T) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, off, length := sectionEntry(t, data, SecSling)
+		data[off+length/2] ^= 0x10
+		bad := filepath.Join(t.TempDir(), "bad.snap")
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Eager: refused at open.
+		if _, err := OpenMapped(bad, MapOptions{Verify: VerifyEager}); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("eager open error = %v, want ErrChecksum", err)
+		}
+		// Lazy: open succeeds (graph section is intact), the corrupted
+		// section is refused exactly when it is first needed.
+		mp, err := OpenMapped(bad, MapOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mp.Close()
+		if _, err := mp.ImportSling(mp.Graph()); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("lazy sling import error = %v, want ErrChecksum", err)
+		}
+		if _, err := mp.ImportReads(mp.Graph()); err != nil {
+			t.Fatalf("intact reads section refused: %v", err)
+		}
+	})
+}
+
+// TestMappedRefusesWrongGraphAndMissing mirrors the copying loader's
+// import gates.
+func TestMappedRefusesWrongGraphAndMissing(t *testing.T) {
+	path, _ := writeTestSnapshot(t)
+	mp, err := OpenMapped(path, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	other := graph.NewBuilder(24, true).AddEdge(3, 4).MustFreeze()
+	if _, err := mp.ImportSling(other); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("ImportSling(other graph) error = %v, want ErrVersionMismatch", err)
+	}
+
+	bare, _, _, _ := testSnapshot(t)
+	bare.Sling, bare.Reads, bare.PRSim = nil, nil, nil
+	barePath := filepath.Join(t.TempDir(), "bare.snap")
+	if err := Write(barePath, bare); err != nil {
+		t.Fatal(err)
+	}
+	bmp, err := OpenMapped(barePath, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bmp.Close()
+	if _, err := bmp.ImportSling(bmp.Graph()); !errors.Is(err, ErrMissingSection) {
+		t.Fatalf("ImportSling on bare snapshot error = %v, want ErrMissingSection", err)
+	}
+	if bmp.Has(SecSling) || !bmp.Has(SecGraph) {
+		t.Fatal("Has() disagrees with the written sections")
+	}
+}
+
+// TestMappedNoExportedFields: the mapped view types must not expose
+// any field a caller could mutate or alias around the refcount; the
+// page protection is the backstop, this is the first line.
+func TestMappedNoExportedFields(t *testing.T) {
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(Mapped{}),
+		reflect.TypeOf(mappedSection{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			if f := typ.Field(i); f.IsExported() {
+				t.Errorf("%s exports field %s", typ.Name(), f.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkLoadCopying and BenchmarkOpenMapped pin the two restart
+// paths side by side, allocations included: the copying loader decodes
+// every array out of the read buffer (one copy — the PR 7 loader's
+// double-buffering is gone, which this benchmark's allocs/op pins),
+// while the mapped loader's cost is shape checks over aliased arrays.
+func BenchmarkLoadCopying(b *testing.B) {
+	path := benchSnapshotPath(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Load(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.ImportSling(s.Graph); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.ImportReads(s.Graph); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.ImportPRSim(s.Graph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenMapped(b *testing.B) {
+	path := benchSnapshotPath(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp, err := OpenMapped(path, MapOptions{Verify: VerifyNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sl, err := mp.ImportSling(mp.Graph())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd, err := mp.ImportReads(mp.Graph())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr, err := mp.ImportPRSim(mp.Graph())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sl.Close()
+		rd.Close()
+		pr.Close()
+		mp.Close()
+	}
+}
+
+func benchSnapshotPath(b *testing.B) string {
+	b.Helper()
+	snap, _, _, _ := testSnapshot(b)
+	path := filepath.Join(b.TempDir(), "bench.snap")
+	if err := Write(path, snap); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}

@@ -1,0 +1,18 @@
+package store
+
+import "crashsim/internal/obs"
+
+// Mapped-loading counters on the default registry, served by /metrics.
+// mapped_bytes is a gauge: it rises at OpenMapped and falls when the
+// last reference to a mapping drops and the pages are actually
+// unmapped, so it tracks live mappings, not opens.
+var (
+	statMmapOpens   = obs.Default.Counter("store.mmap_opens")
+	statMappedBytes = obs.Default.Gauge("store.mapped_bytes")
+	// crc_deferred counts sections whose hash was postponed past open
+	// (lazy and none policies); crc_verified counts sections actually
+	// hashed, eager and lazy alike. deferred − verified is the live
+	// count of sections being trusted without a hash.
+	statCrcDeferred = obs.Default.Counter("store.crc_deferred")
+	statCrcVerified = obs.Default.Counter("store.crc_verified")
+)

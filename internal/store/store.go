@@ -6,7 +6,7 @@
 // File layout (all integers little-endian):
 //
 //	magic            8 bytes  "CSIMSNAP"
-//	format version   u32      currently 1
+//	format version   u32      currently 2 (v1 still loads)
 //	graph version    u64      identity of the snapshotted graph
 //	section count    u32
 //	section table    count × { name [8]byte NUL-padded,
@@ -23,10 +23,26 @@
 //	"reads"  a reads.Payload, prefixed by its graph version
 //	"prsim"  a prsim.Payload, prefixed by its graph version
 //
+// Format v2 additionally lays sections out for zero-copy mapping
+// (OpenMapped): every section starts at a 64-byte-aligned file offset
+// with zero padding between sections, the file length is padded to a
+// multiple of 64, and inside a section every array's u64 length prefix
+// sits at an 8-aligned section offset (zero pad bytes inserted before
+// it), so the element bytes that follow are aligned for direct
+// []int32/[]float64 casts against the page-aligned mapping. The sling
+// and reads sections end with an accelerator blob — the precompiled
+// inverted-index arrays of sling.Flat / reads.Flat, framed as
+// [align8][u64 byte length][arrays] — which the copying decoder skips
+// by byte count and the mapped decoder serves queries from directly.
+// v1 snapshots (no alignment, no accel blobs) still load and verify
+// through the copying path; OpenMapped refuses them with
+// ErrFormatVersion so callers can fall back.
+//
 // Invariants enforced by the loader:
 //
-//   - wrong magic, unknown format version, truncation, and checksum
-//     mismatch each fail with a distinct sentinel error (errors.Is);
+//   - wrong magic, unknown format version, truncation, checksum
+//     mismatch, and (v2) a misaligned section offset each fail with a
+//     distinct sentinel error (errors.Is);
 //   - a content-derived graph version is recomputed from the decoded
 //     CSR arrays (graph.FromCSR) — a snapshot cannot claim an identity
 //     its bytes do not hash to;
@@ -51,10 +67,21 @@ import (
 // Magic identifies a crashsim snapshot file.
 const Magic = "CSIMSNAP"
 
-// FormatVersion is the current snapshot format. Loaders refuse other
-// versions outright: the format is versioned precisely so that a stale
-// binary fails loudly instead of misdecoding.
-const FormatVersion = 1
+// FormatVersion is the current snapshot format, written by Encode.
+// Loaders additionally accept formatV1 (the pre-mmap layout) and refuse
+// everything else outright: the format is versioned precisely so that a
+// stale binary fails loudly instead of misdecoding.
+const FormatVersion = 2
+
+// formatV1 is the original unaligned layout: contiguous sections, no
+// padding, no accelerator blobs. Still read (and written by
+// encodeSnapshot for fixtures), never produced by Encode.
+const formatV1 = 1
+
+// sectionAlign is the v2 section placement alignment. 64 covers every
+// element width we cast to (8 for float64/uint64) with room to spare
+// and keeps section starts cache-line-aligned.
+const sectionAlign = 64
 
 // Section names, as written into the section table.
 const (
@@ -80,6 +107,10 @@ var (
 	// ErrChecksum: a section's payload does not hash to its recorded
 	// CRC — the bytes rotted or were edited.
 	ErrChecksum = errors.New("store: section checksum mismatch")
+	// ErrMisaligned: a v2 section offset is not 64-byte aligned, so the
+	// mapped loader's typed casts would be undefined. Such a file was
+	// not produced by this writer.
+	ErrMisaligned = errors.New("store: section offset misaligned")
 	// ErrMissingSection: a section the caller requires is absent.
 	ErrMissingSection = errors.New("store: section missing")
 	// ErrVersionMismatch: an index section records a different graph

@@ -14,7 +14,7 @@ import (
 	"crashsim/internal/sling"
 )
 
-func testGraph(t *testing.T) *graph.Graph {
+func testGraph(t testing.TB) *graph.Graph {
 	t.Helper()
 	const n = 24
 	b := graph.NewBuilder(n, true)
@@ -33,7 +33,7 @@ func testGraph(t *testing.T) *graph.Graph {
 
 // testSnapshot builds a graph plus SLING, READS and PRSim indexes over
 // it and wraps their exported payloads in a snapshot.
-func testSnapshot(t *testing.T) (*Snapshot, *sling.Index, *reads.Index, *prsim.Index) {
+func testSnapshot(t testing.TB) (*Snapshot, *sling.Index, *reads.Index, *prsim.Index) {
 	t.Helper()
 	g := testGraph(t)
 	slIx, err := sling.Build(g, sling.Options{Seed: 1, DSamples: 16})
@@ -279,6 +279,23 @@ func TestCorruptionMatrix(t *testing.T) {
 			copy(d[entry:entry+8], "ignored\x00")
 			return d
 		}), ErrMissingSection)
+	})
+	t.Run("misaligned section offset", func(t *testing.T) {
+		// A v2 section not on a 64-byte boundary would make the mapped
+		// loader's typed casts undefined; both loaders refuse it.
+		check(t, mutate(func(d []byte) []byte {
+			entry, off, _ := sectionEntry(t, d, SecSling)
+			binary.LittleEndian.PutUint64(d[entry+8:entry+16], uint64(off+4))
+			return d
+		}), ErrMisaligned)
+	})
+	t.Run("truncated padding", func(t *testing.T) {
+		// v2 files must be exactly the 64-aligned span of their
+		// sections; trailing garbage (or missing pad bytes — the
+		// "truncated payload" row above) is refused.
+		check(t, mutate(func(d []byte) []byte {
+			return append(d, make([]byte, sectionAlign)...)
+		}), ErrTruncated)
 	})
 }
 

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"crashsim/internal/graph"
+)
+
+const v1FixturePath = "testdata/v1.snap"
+
+// TestV1Fixture pins backward compatibility against a committed v1
+// snapshot (the pre-mmap format): it must still decode with every CRC
+// checked, import, upgrade cleanly through the v2 writer, and serve
+// the same scores copied or mapped after the upgrade. The mapped
+// loader must refuse the v1 file itself with ErrFormatVersion — that
+// is the signal for callers to fall back to the copying path.
+//
+// Regenerate the fixture (only if the v1 encoder itself must change,
+// which it should not) with:
+//
+//	STORE_WRITE_V1_FIXTURE=1 go test ./internal/store -run TestV1Fixture
+func TestV1Fixture(t *testing.T) {
+	if os.Getenv("STORE_WRITE_V1_FIXTURE") != "" {
+		snap, _, _, _ := testSnapshot(t)
+		data, err := encodeSnapshot(snap, formatV1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(v1FixturePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(v1FixturePath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(v1FixturePath)
+	if err != nil {
+		t.Fatalf("committed v1 fixture missing (regenerate with STORE_WRITE_V1_FIXTURE=1): %v", err)
+	}
+	v1, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Sling == nil || v1.Reads == nil || v1.PRSim == nil {
+		t.Fatal("v1 fixture is missing index sections")
+	}
+	slV1, err := v1.ImportSling(v1.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdV1, err := v1.ImportReads(v1.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prV1, err := v1.ImportPRSim(v1.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The mapped loader refuses v1 — no alignment, no accel blobs.
+	dir := t.TempDir()
+	v1Path := filepath.Join(dir, "v1.snap")
+	if err := os.WriteFile(v1Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(v1Path, MapOptions{}); !errors.Is(err, ErrFormatVersion) {
+		t.Fatalf("OpenMapped(v1) error = %v, want ErrFormatVersion", err)
+	}
+
+	// Upgrading: re-writing the loaded snapshot produces a v2 file that
+	// both loaders accept and that scores identically to the v1 import.
+	v2Path := filepath.Join(dir, "v2.snap")
+	if err := Write(v2Path, v1); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Load(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v2.Sling, v1.Sling) || !reflect.DeepEqual(v2.Reads, v1.Reads) || !reflect.DeepEqual(v2.PRSim, v1.PRSim) {
+		t.Fatal("payloads changed across the v1 -> v2 rewrite")
+	}
+	mp, err := OpenMapped(v2Path, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	slM, err := mp.ImportSling(mp.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slM.Close()
+	rdM, err := mp.ImportReads(mp.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdM.Close()
+	prM, err := mp.ImportPRSim(mp.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prM.Close()
+	for u := 0; u < v1.Graph.NumNodes(); u++ {
+		for _, c := range []struct {
+			name       string
+			want, have func(graph.NodeID) (map[graph.NodeID]float64, error)
+		}{
+			{"sling", slV1.SingleSource, slM.SingleSource},
+			{"reads", rdV1.SingleSource, rdM.SingleSource},
+			{"prsim", prV1.SingleSource, prM.SingleSource},
+		} {
+			want, err := c.want(graph.NodeID(u))
+			if err != nil {
+				t.Fatal(err)
+			}
+			have, err := c.have(graph.NodeID(u))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, have) {
+				t.Fatalf("%s SingleSource(%d) differs between v1 import and upgraded mapped import", c.name, u)
+			}
+		}
+	}
+}
